@@ -1,0 +1,50 @@
+"""Ablation: multi-FPGA scaling (the Section VII-E extension).
+
+Each CST partition is an independent search space, so the CPU can
+spread partitions across devices by minimum accumulated workload. This
+bench measures kernel-makespan scaling and the load imbalance the
+power-law workload distribution leaves behind.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.common.tables import render_table
+from repro.fpga.config import FpgaConfig
+from repro.host.multi_fpga import MultiFpgaRunner
+from repro.ldbc.queries import get_query
+
+
+def sweep_devices(data, device_counts=(1, 2, 4, 8)):
+    config = FpgaConfig(bram_bytes=48 * 1024, batch_size=64, max_ports=16)
+    rows = []
+    makespans = {}
+    for n in device_counts:
+        runner = MultiFpgaRunner(num_devices=n, config=config)
+        result = runner.run(get_query("q8").graph, data)
+        makespans[n] = result.makespan_seconds
+        rows.append([
+            n,
+            result.num_partitions,
+            result.makespan_seconds * 1e3,
+            result.total_seconds * 1e3,
+            result.load_imbalance,
+        ])
+    text = render_table(
+        ["devices", "partitions", "makespan_ms", "total_ms", "imbalance"],
+        rows,
+        title="Ablation: multi-FPGA scaling (q8)",
+    )
+    return makespans, text
+
+
+def test_multi_fpga_scaling(benchmark, micro_dataset):
+    makespans, text = run_once(benchmark, sweep_devices,
+                               micro_dataset.graph)
+    print("\n" + text)
+    counts = sorted(makespans)
+    for a, b in zip(counts, counts[1:]):
+        assert makespans[b] <= makespans[a] * 1.05  # monotone-ish
+    # Meaningful scaling from 1 to the max device count.
+    assert makespans[counts[0]] / makespans[counts[-1]] > 1.5

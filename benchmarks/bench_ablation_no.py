@@ -1,0 +1,44 @@
+"""Ablation: the round batch size N_o (Section VI-B).
+
+Equation 2 predicts per-round pipeline-fill overhead amortising as N_o
+grows: tiny N_o wastes cycles on fill, large N_o only costs BRAM. The
+sweep regenerates that saturation curve.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.common.tables import render_table
+from repro.cst.builder import build_cst
+from repro.fpga.config import FpgaConfig
+from repro.fpga.engine import FastEngine
+from repro.ldbc.queries import get_query
+
+
+def sweep_no(data, batch_sizes=(4, 16, 64, 256, 1024)):
+    cst = build_cst(get_query("q2").graph, data)
+    rows = []
+    cycles = {}
+    for no in batch_sizes:
+        rep = FastEngine(FpgaConfig(batch_size=no), "basic").run(cst)
+        cycles[no] = rep.total_cycles
+        rows.append([no, rep.total_cycles, rep.rounds, rep.embeddings])
+    return cycles, render_table(
+        ["N_o", "cycles", "rounds", "embeddings"], rows,
+        title="Ablation: batch size N_o (FAST-BASIC, q2)",
+    )
+
+
+def test_no_sweep_saturates(benchmark, mini_dataset):
+    cycles, text = run_once(benchmark, sweep_no, mini_dataset.graph)
+    print("\n" + text)
+    sizes = sorted(cycles)
+    # Monotone improvement...
+    for a, b in zip(sizes, sizes[1:]):
+        assert cycles[b] <= cycles[a]
+    # ...with diminishing returns: the last doubling saves less than
+    # the first one.
+    first_gain = cycles[sizes[0]] - cycles[sizes[1]]
+    last_gain = cycles[sizes[-2]] - cycles[sizes[-1]]
+    assert last_gain < first_gain

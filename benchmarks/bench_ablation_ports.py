@@ -1,0 +1,43 @@
+"""Ablation: the Edge Validator port budget delta_D (Section VI-A).
+
+Fewer BRAM access ports force a smaller D_CST, which forces more CST
+partitions (and more per-partition overhead); more ports cost on-chip
+resources. The sweep quantifies that trade-off.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.common.tables import render_table
+from repro.cst.builder import build_cst
+from repro.cst.partition import PartitionLimits, partition_to_list
+from repro.ldbc.queries import get_query
+from repro.query.ordering import path_based_order
+
+
+def sweep_ports(data, ports=(8, 16, 32, 64, 128)):
+    cst = build_cst(get_query("q1").graph, data)
+    order = path_based_order(cst.tree, data)
+    rows = []
+    counts = {}
+    for p in ports:
+        limits = PartitionLimits(max_bytes=1 << 30, max_degree=p)
+        parts, stats = partition_to_list(cst, order, limits)
+        counts[p] = len(parts)
+        rows.append([p, len(parts), stats.num_splits,
+                     sum(c.size_bytes() for c in parts)])
+    return counts, render_table(
+        ["ports", "partitions", "splits", "total_bytes"], rows,
+        title="Ablation: port budget delta_D (q1)",
+    )
+
+
+def test_ports_sweep_monotone(benchmark, mini_dataset):
+    counts, text = run_once(benchmark, sweep_ports, mini_dataset.graph)
+    print("\n" + text)
+    ports = sorted(counts)
+    for a, b in zip(ports, ports[1:]):
+        assert counts[b] <= counts[a]
+    # The constraint must actually bind somewhere in the sweep.
+    assert counts[ports[0]] > counts[ports[-1]]

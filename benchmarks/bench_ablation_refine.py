@@ -1,0 +1,61 @@
+"""Ablation: CST vs fully refined CS (the Section V-A Remark).
+
+The paper argues stopping after two refinement passes is the right
+host-side trade-off: full (CS-style) refinement shrinks the search
+space but costs more construction, and FAST is latency-sensitive to
+host preprocessing. This bench measures both sides of the trade-off.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.common.tables import render_table
+from repro.costs.cpu import CpuCostModel, OpCounters
+from repro.cst.builder import build_cst
+from repro.cst.refine import refine_cst
+from repro.fpga.engine import FastEngine
+from repro.ldbc.queries import all_queries
+
+
+def compare_refinement(data):
+    cost = CpuCostModel()
+    rows = []
+    totals = {"cst": 0.0, "cs": 0.0}
+    for q in all_queries():
+        cst = build_cst(q.graph, data)
+        refined, passes = refine_cst(cst)
+        build_ops = cst.total_candidates() + cst.total_adjacency_entries()
+        extra_ops = (passes + 1) * (
+            refined.total_candidates() + refined.total_adjacency_entries()
+        )
+        t_build_cst = cost.seconds(OpCounters(index_build_ops=build_ops))
+        t_build_cs = cost.seconds(
+            OpCounters(index_build_ops=build_ops + extra_ops)
+        )
+        engine = FastEngine()
+        t_match_cst = engine.run(cst).seconds
+        t_match_cs = engine.run(refined).seconds
+        totals["cst"] += t_build_cst + t_match_cst
+        totals["cs"] += t_build_cs + t_match_cs
+        rows.append([
+            q.name,
+            cst.size_bytes(), refined.size_bytes(),
+            (t_build_cst + t_match_cst) * 1e3,
+            (t_build_cs + t_match_cs) * 1e3,
+        ])
+    text = render_table(
+        ["query", "cst_bytes", "cs_bytes", "cst_total_ms", "cs_total_ms"],
+        rows,
+        title="Ablation: CST (2 refinements) vs CS (full refinement)",
+    )
+    return totals, text
+
+
+def test_refinement_tradeoff(benchmark, micro_dataset):
+    totals, text = run_once(benchmark, compare_refinement,
+                            micro_dataset.graph)
+    print("\n" + text)
+    # Full refinement must never *hugely* beat CST end to end - that
+    # is exactly the paper's justification for the cheaper structure.
+    assert totals["cs"] > 0.5 * totals["cst"]

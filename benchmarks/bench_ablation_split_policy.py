@@ -1,0 +1,58 @@
+"""Ablation: Algorithm 2's order-strict split vs degree-targeted split.
+
+Algorithm 2 splits the candidate set of the *next matching-order
+vertex*, which can take thousands of rounds to relieve a delta_D
+violation caused by one hub's adjacency rows (EXPERIMENTS.md documents
+the q1 blow-up: 1 729 partitions at DG03 where 8 suffice). The degree
+policy splits the hub-row target directly. Both produce disjoint,
+complete partitions (tested); this bench quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.common.tables import render_table
+from repro.cst.builder import build_cst
+from repro.cst.partition import partition_to_list
+from repro.fpga.config import FpgaConfig
+from repro.query.ordering import path_based_order
+
+
+def compare_policies(data, query_names=("q1", "q3", "q6")):
+    from repro.ldbc.queries import get_query
+    cfg = FpgaConfig(bram_bytes=128 * 1024, batch_size=128, max_ports=24)
+    rows = []
+    totals = {"order": 0, "degree": 0}
+    for name in query_names:
+        q = get_query(name)
+        cst = build_cst(q.graph, data)
+        order = path_based_order(cst.tree, data)
+        limits = cfg.partition_limits(cst.query)
+        counts = {}
+        sizes = {}
+        for policy in ("order", "degree"):
+            parts, stats = partition_to_list(cst, order, limits,
+                                             split_policy=policy)
+            counts[policy] = len(parts)
+            sizes[policy] = stats.total_bytes
+            totals[policy] += len(parts)
+        rows.append([name, counts["order"], counts["degree"],
+                     sizes["order"], sizes["degree"]])
+    text = render_table(
+        ["query", "parts_order", "parts_degree",
+         "bytes_order", "bytes_degree"],
+        rows,
+        title="Ablation: split policy (order vs degree)",
+    )
+    return totals, text
+
+
+def test_split_policy_ablation(benchmark, mini_dataset):
+    totals, text = run_once(benchmark, compare_policies,
+                            mini_dataset.graph)
+    print("\n" + text)
+    # The degree policy must not be worse overall, and should win
+    # clearly on the hub-heavy workload mix.
+    assert totals["degree"] <= totals["order"]
+    assert totals["degree"] < 0.8 * totals["order"]

@@ -1,0 +1,40 @@
+"""Fig. 11: effectiveness of task parallelism (FAST-BASIC vs FAST-TASK).
+
+Paper: up to 50 % improvement (Eq. 2 vs Eq. 3); the query with the
+highest N/M ratio gains least.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments.figures import fig11_task_parallelism
+from repro.fpga.engine import FastEngine
+from repro.cst.builder import build_cst
+from repro.ldbc.queries import all_queries
+
+
+def test_fig11_improvements(benchmark, config, mini_dataset):
+    res = run_once(benchmark, fig11_task_parallelism, ["DG-MINI"],
+                   None, config)
+    print("\n" + res.render())
+    ratios = res.raw["ratios"]
+    assert statistics.mean(ratios) > 1.2
+    assert all(r <= 2.4 for r in ratios)
+
+
+def test_fig11_high_n_over_m_gains_least(config, mini_dataset):
+    """The sparse outlier (highest N/M) must show the smallest gain."""
+    data = mini_dataset.graph
+    gains = {}
+    nm = {}
+    for q in all_queries():
+        cst = build_cst(q.graph, data)
+        basic = FastEngine(config.fpga, "basic").run(cst)
+        task = FastEngine(config.fpga, "task").run(cst)
+        gains[q.name] = basic.total_cycles / task.total_cycles
+        nm[q.name] = basic.total_partials / max(1, basic.total_edge_tasks)
+    sparsest = max(nm, key=nm.get)
+    assert gains[sparsest] <= statistics.median(list(gains.values()))

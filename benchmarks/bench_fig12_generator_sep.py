@@ -1,0 +1,24 @@
+"""Fig. 12: effectiveness of task generator separation
+(FAST-TASK vs FAST-SEP).
+
+Paper: about 30-40 % improvement (Eq. 3 vs Eq. 4), best when N/M > 1.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments.figures import fig12_generator_separation
+
+
+def test_fig12_improvements(benchmark, config):
+    res = run_once(benchmark, fig12_generator_separation, ["DG-MINI"],
+                   None, config)
+    print("\n" + res.render())
+    improvements = [row[5] for row in res.rows if row[1] != "AVG"]
+    # Most queries land in the paper's 20-45% improvement band.
+    in_band = [imp for imp in improvements if 0.15 <= imp <= 0.50]
+    assert len(in_band) >= len(improvements) // 2
+    assert statistics.mean(improvements) > 0.15

@@ -1,0 +1,64 @@
+"""Fig. 16: scalability in the LDBC scale factor.
+
+Paper: FAST is the only algorithm to finish the largest graph (the
+baselines die with OOM / overflow / crashes), and its elapsed time
+grows linearly with the number of embeddings.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import fig16_scale_factor
+
+
+def test_fig16_fast_scales(benchmark, config):
+    res = run_once(
+        benchmark, fig16_scale_factor, (0.1, 0.3, 0.5), ["q0", "q1", "q5"],
+        ["FAST"], config,
+    )
+    print("\n" + res.render())
+    for name, series in res.raw["fast_series"].items():
+        series = sorted(series)
+        assert len(series) == 3
+        times = [t for _sf, t, _e in series]
+        embs = [e for _sf, _t, e in series]
+        assert embs == sorted(embs), name
+        assert times == sorted(times), name
+        # Linear-ish in embeddings: time ratio within ~5x of the
+        # embedding ratio across the sweep.
+        t_ratio = times[-1] / times[0]
+        e_ratio = embs[-1] / max(1, embs[0])
+        assert t_ratio < 5 * e_ratio, name
+
+
+def test_fig16_baselines_fail_where_fast_survives(benchmark, config):
+    """Shrunken failure frontier: with the paper's relative limits the
+    baselines fail on the largest scale while FAST completes."""
+    from repro.costs.resources import ResourceLimits
+    from repro.experiments.harness import HarnessConfig
+
+    # Tighten modeled host memory the way DG60 tightens the real one.
+    tight = HarnessConfig(
+        fpga=config.fpga,
+        cpu_cost=config.cpu_cost,
+        limits=ResourceLimits(host_memory_bytes=1_500_000,
+                              counter_limit=2_000_000),
+        use_cache=config.use_cache,
+    )
+    res = run_once(
+        benchmark, fig16_scale_factor, (0.5,), ["q6", "q8"],
+        ["FAST", "CFL", "DAF-8"], tight,
+    )
+    print("\n" + res.render())
+    verdicts = {
+        (row[2], row[3]): row[4] for row in res.rows
+    }
+    assert all(
+        not isinstance(verdicts[(q, "FAST")], str) for q in ("q6", "q8")
+    )
+    failures = [
+        v for (q, alg), v in verdicts.items()
+        if alg != "FAST" and isinstance(v, str)
+    ]
+    assert failures, "expected at least one baseline failure verdict"

@@ -1,0 +1,38 @@
+"""Fig. 17: scalability in |E(G)| (uniform edge sampling).
+
+Paper: keeping all vertices and sampling 20-100 % of edges, the average
+elapsed time per embedding shows no apparent change; tiny samples are
+noisier because fixed costs stop amortising.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import run_once
+
+from repro.experiments.figures import fig17_edge_sampling
+
+
+def test_fig17_per_embedding_flat(benchmark, config):
+    res = run_once(
+        benchmark, fig17_edge_sampling, "DG-MINI",
+        (0.4, 0.6, 0.8, 1.0), ["q0", "q1", "q5"], config,
+    )
+    print("\n" + res.render())
+    for name, series in res.raw["series"].items():
+        values = [v for _f, v in series if not math.isnan(v)]
+        if len(values) < 2:
+            continue
+        # Per-embedding time stays within two orders across the sweep
+        # (the paper's small-sample outliers allow the same slack).
+        assert max(values) < 150 * min(values), name
+
+
+def test_fig17_edges_shrink_with_fraction(benchmark, config):
+    res = run_once(
+        benchmark, fig17_edge_sampling, "DG-MICRO", (0.5, 1.0),
+        ["q0"], config,
+    )
+    edges = [row[2] for row in res.rows]
+    assert edges[0] < edges[1]

@@ -1,0 +1,32 @@
+"""Fig. 7: necessity of CST partition (FAST-DRAM vs FAST-BASIC).
+
+Paper: FAST-BASIC beats FAST-DRAM ~5x on average (close to the DRAM/
+BRAM read-latency ratio), with the speedup growing as the graph grows.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments.figures import fig7_dram_vs_bram
+
+
+def test_fig7_micro(benchmark, config):
+    res = run_once(benchmark, fig7_dram_vs_bram, ["DG-MICRO"],
+                   None, config)
+    print("\n" + res.render())
+    speedups = res.raw["speedups"]["DG-MICRO"]
+    assert statistics.mean(speedups) > 2.5
+
+
+def test_fig7_speedup_grows_with_scale(benchmark, config):
+    res = run_once(benchmark, fig7_dram_vs_bram,
+                   ["DG-MICRO", "DG-MINI"], None, config)
+    print("\n" + res.render())
+    micro = statistics.mean(res.raw["speedups"]["DG-MICRO"])
+    mini = statistics.mean(res.raw["speedups"]["DG-MINI"])
+    # The paper observes the speedup rising with graph size (4.5 ->
+    # 5.9); at our scales the trend holds but is shallow.
+    assert mini > 0.9 * micro

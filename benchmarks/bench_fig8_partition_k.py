@@ -1,0 +1,21 @@
+"""Fig. 8: partition-factor k determination.
+
+Paper: the greedy factor achieves the fewest CST partitions and the
+least partition time; large fixed k inflates both.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.figures import fig8_partition_factor
+
+
+def test_fig8_greedy_vs_fixed(benchmark, stress_config):
+    res = run_once(benchmark, fig8_partition_factor, "DG-MINI", None,
+                   (2, 4, 6, 8, 10), stress_config)
+    print("\n" + res.render())
+    counts = {row[0]: row[1] for row in res.rows}
+    times = {row[0]: row[2] for row in res.rows}
+    assert counts["greedy"] <= counts["10"]
+    assert times["greedy"] <= times["10"]

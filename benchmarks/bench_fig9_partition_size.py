@@ -1,0 +1,30 @@
+"""Fig. 9: number and total size of partitioned CSTs.
+
+Paper: partition counts rise with the data size while S_CST/S_G stays
+stable (< 60 % for all paper queries; our dual-direction CSR inflates
+the constant but not the trend - see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments.figures import fig9_partition_size
+
+
+def test_fig9_counts_and_ratio(benchmark, config):
+    res = run_once(benchmark, fig9_partition_size,
+                   ["DG-MICRO", "DG-MINI", "DG-SMALL"], None, config)
+    print("\n" + res.render())
+    by_dataset: dict[str, list[float]] = {}
+    counts: dict[str, int] = {}
+    for dataset, _query, num, _bytes, ratio in res.rows:
+        by_dataset.setdefault(dataset, []).append(ratio)
+        counts[dataset] = counts.get(dataset, 0) + num
+    # Partition counts do not shrink as the graph grows.
+    assert counts["DG-SMALL"] >= counts["DG-MICRO"]
+    # The median size ratio stays in the same band across scales.
+    medians = {d: statistics.median(v) for d, v in by_dataset.items()}
+    assert max(medians.values()) < 4 * max(1e-9, min(medians.values()))

@@ -1,0 +1,31 @@
+"""Table III: dataset characteristics.
+
+Benchmarks dataset generation and prints the table the paper reports.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.tables import table3_datasets
+from repro.ldbc.generator import LdbcGenerator
+from repro.ldbc.schema import NUM_LABELS
+
+
+def test_table3_generation(benchmark, config):
+    rows, text = run_once(
+        benchmark, table3_datasets,
+        ["DG-MICRO", "DG-MINI", "DG-SMALL"], config,
+    )
+    print("\n" + text)
+    assert all(row[5] == NUM_LABELS for row in rows)
+    sizes = [row[1] for row in rows]
+    assert sizes == sorted(sizes)
+
+
+def test_generator_throughput_sf1(benchmark):
+    """Raw generation speed at scale factor 1 (paper's DG01 shape)."""
+    dataset = benchmark(LdbcGenerator(seed=7).generate, 1.0)
+    info = dataset.summary()
+    assert 2500 <= info["num_vertices"] <= 4500
+    assert info["num_labels"] == NUM_LABELS

@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Benchmarks exercise the same experiment drivers as EXPERIMENTS.md but
+at reduced dataset scale so ``pytest benchmarks/ --benchmark-only``
+completes in minutes. The paper-scale campaign lives in
+``examples/paper_evaluation.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.harness import HarnessConfig, tight_config
+from repro.ldbc.datasets import load_dataset
+
+
+@pytest.fixture(scope="session")
+def config():
+    """Cache-enabled harness config shared by every benchmark."""
+    return HarnessConfig(use_cache=True)
+
+
+@pytest.fixture(scope="session")
+def stress_config():
+    """Partition-stressed device for Figs. 8/13-style benchmarks."""
+    return tight_config(HarnessConfig(use_cache=True))
+
+
+@pytest.fixture(scope="session")
+def micro_dataset():
+    return load_dataset("DG-MICRO")
+
+
+@pytest.fixture(scope="session")
+def mini_dataset():
+    return load_dataset("DG-MINI")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a macro-experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,61 @@
+"""Head-to-head: FAST against every baseline on one workload.
+
+A miniature of the paper's Fig. 14 for interactive use: pick a dataset
+and a query, run all nine systems, and print modeled times, verdicts
+and speedups in one table.
+
+Run with::
+
+    python examples/algorithm_comparison.py [dataset] [query]
+    python examples/algorithm_comparison.py DG-MINI q6
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.common.tables import render_table
+from repro.experiments.harness import ALGORITHMS, HarnessConfig, make_runner
+from repro.ldbc import get_query, load_dataset
+
+
+def main(dataset_name: str = "DG-MINI", query_name: str = "q2") -> None:
+    config = HarnessConfig()
+    dataset = load_dataset(dataset_name)
+    query = get_query(query_name)
+    print(f"{query.name} on {dataset.name}: {query.description}\n")
+
+    rows = []
+    fast_seconds = None
+    results = []
+    for name in ALGORITHMS:
+        runner = make_runner(name, config)
+        verdict, seconds, embeddings = runner(query.graph, dataset.graph)
+        results.append((name, verdict, seconds, embeddings))
+        if name == "FAST" and verdict == "OK":
+            fast_seconds = seconds
+
+    for name, verdict, seconds, embeddings in results:
+        if verdict != "OK":
+            rows.append([name, verdict, "-", "-"])
+            continue
+        speedup = (
+            f"{seconds / fast_seconds:.2f}x"
+            if fast_seconds and name != "FAST" else "-"
+        )
+        rows.append([name, f"{seconds * 1e3:.3f}", embeddings, speedup])
+
+    print(render_table(
+        ["algorithm", "time_ms", "embeddings", "FAST speedup"],
+        rows,
+        title="modeled comparison (CPU @2.1 GHz / FPGA @300 MHz / V100)",
+    ))
+
+    counts = {e for _n, v, _s, e in results if v == "OK"}
+    assert len(counts) == 1, f"count disagreement: {counts}"
+    print("\nall completing algorithms agree on the embedding count.")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(*args[:2])

@@ -1,0 +1,86 @@
+"""Device capacity planning: tune N_o, BRAM and ports for a workload.
+
+The paper stresses that N_o "should be carefully chosen based on
+different FPGAs" (Section VI-B) and that the Edge Validator's port
+budget bounds D_CST (Section VI-A). This example sweeps the three
+device knobs over a fixed workload and prints the landing zone - the
+kind of study an engineer would run before synthesising a bitstream.
+
+Run with::
+
+    python examples/device_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro import FastRunner, FpgaConfig, get_query, load_dataset
+from repro.common.tables import render_table
+from repro.fpga import resource_table
+from repro.query import as_query
+
+
+def sweep(name: str, configs: dict[str, FpgaConfig], query, graph) -> None:
+    rows = []
+    for label, cfg in configs.items():
+        runner = FastRunner(config=cfg, variant="sep")
+        result = runner.run(query.graph, graph)
+        rows.append([
+            label,
+            result.num_partitions,
+            result.kernel_report.rounds,
+            result.kernel_seconds * 1e6,
+            result.total_seconds * 1e6,
+        ])
+    print(render_table(
+        [name, "partitions", "rounds", "kernel_us", "total_us"],
+        rows,
+        title=f"sweep: {name}",
+    ))
+    print()
+
+
+def main() -> None:
+    dataset = load_dataset("DG-MINI")
+    query = get_query("q2")
+    print(f"workload: {query.name} on {dataset.name}\n")
+
+    # N_o: too small wastes pipeline fill, too large wastes BRAM.
+    sweep(
+        "N_o",
+        {str(no): FpgaConfig(batch_size=no)
+         for no in (8, 32, 128, 512, 2048)},
+        query, dataset.graph,
+    )
+
+    # BRAM budget: smaller devices force more CST partitions.
+    sweep(
+        "bram_kb",
+        {str(kb): FpgaConfig(bram_bytes=kb * 1024, batch_size=128)
+         for kb in (48, 96, 192, 384)},
+        query, dataset.graph,
+    )
+
+    # Edge Validator ports: the delta_D cap on adjacency rows.
+    sweep(
+        "ports",
+        {str(p): FpgaConfig(max_ports=p) for p in (8, 16, 32, 64, 128)},
+        query, dataset.graph,
+    )
+
+    # Estimated chip utilisation for the default device.
+    print(resource_table(FpgaConfig(), as_query(query.graph)))
+    print()
+
+    # A deliberately undersized device shows the failure mode.
+    try:
+        FpgaConfig(bram_bytes=4096).cst_budget_bytes(
+            __import__("repro.query", fromlist=["as_query"]).as_query(
+                query.graph
+            )
+        )
+    except Exception as exc:  # DeviceError
+        print(f"undersized device rejected as expected: {exc}")
+
+
+if __name__ == "__main__":
+    main()

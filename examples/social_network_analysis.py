@@ -1,0 +1,75 @@
+"""Social-network analysis with subgraph matching.
+
+The intro of the paper motivates subgraph matching with social-network
+analysis. This example runs two of those analyses on the synthetic
+LDBC-like network:
+
+* **community cohesion** - q6 (friendship triangles inside a forum)
+  found per forum, ranking forums by how clustered their members are;
+* **conversation cascades** - q7 (two-level comment chains among
+  friends), identifying the posts that spawn deep friend discussions.
+
+Run with::
+
+    python examples/social_network_analysis.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import FastRunner, get_query, load_dataset
+from repro.ldbc import Label
+
+
+def main() -> None:
+    dataset = load_dataset("DG-MINI")
+    graph = dataset.graph
+    runner = FastRunner()
+
+    # ------------------------------------------------------------------
+    # Community cohesion: friendship triangles per forum (q6).
+    # ------------------------------------------------------------------
+    q6 = get_query("q6")
+    result = runner.run(q6.graph, graph, collect_results=True)
+    print(f"q6 ({q6.description})")
+    print(f"  {result.embeddings:,} triangle-in-forum embeddings, "
+          f"modeled {result.total_seconds * 1e3:.2f} ms")
+
+    # Query vertex 3 of q6 is the forum.
+    forum_hits = Counter(emb[3] for emb in result.results)
+    print("  most cohesive forums (triangles x 6 automorphisms):")
+    for forum, hits in forum_hits.most_common(5):
+        members = sum(
+            1 for w in graph.neighbors(forum)
+            if graph.label(int(w)) == int(Label.PERSON)
+        )
+        print(f"    forum {forum}: {hits:5d} hits, {members} member edges")
+
+    # ------------------------------------------------------------------
+    # Conversation cascades: friend reply chains (q7).
+    # ------------------------------------------------------------------
+    q7 = get_query("q7")
+    result = runner.run(q7.graph, graph, collect_results=True)
+    print(f"\nq7 ({q7.description})")
+    print(f"  {result.embeddings:,} cascade embeddings, "
+          f"modeled {result.total_seconds * 1e3:.2f} ms")
+
+    # Query vertex 0 of q7 is the root post of the cascade.
+    post_hits = Counter(emb[0] for emb in result.results)
+    print("  posts spawning the deepest friend discussions:")
+    for post, hits in post_hits.most_common(5):
+        print(f"    post {post}: {hits} friend cascades")
+
+    # ------------------------------------------------------------------
+    # Cross-check against plain triangle counting.
+    # ------------------------------------------------------------------
+    q0 = get_query("q0")
+    result = runner.run(q0.graph, graph)
+    # Each undirected triangle-with-city maps to 6 label-compatible
+    # automorphic embeddings of the person triangle... report raw.
+    print(f"\nq0 ({q0.description}): {result.embeddings:,} embeddings")
+
+
+if __name__ == "__main__":
+    main()

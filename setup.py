@@ -1,0 +1,11 @@
+"""Shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel`` under
+PEP 517; offline boxes without ``wheel`` can fall back to the legacy
+path via this file (``pip install -e . --no-build-isolation
+--no-use-pep517``). All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

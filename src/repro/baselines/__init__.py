@@ -1,0 +1,52 @@
+"""Baseline algorithms: reference matcher, CPU baselines, GPU baselines."""
+
+from repro.baselines.ceci import Ceci
+from repro.baselines.cfl import CflMatch
+from repro.baselines.daf import Daf
+from repro.baselines.gpsm import GpSM
+from repro.baselines.gsi import Gsi
+from repro.baselines.join import (
+    JoinExecution,
+    JoinStep,
+    StageTrace,
+    candidate_edge_count,
+    candidate_vertices,
+    execute_join_plan,
+    join_plan,
+)
+from repro.baselines.matcher_core import (
+    EXTEND_METHODS,
+    BacktrackOutcome,
+    run_backtracking,
+)
+from repro.baselines.parallel import ParallelCeci, ParallelDaf
+from repro.baselines.reference import (
+    count_reference_embeddings,
+    iter_reference_embeddings,
+    reference_embeddings,
+)
+from repro.baselines.result import BaselineResult
+
+__all__ = [
+    "BacktrackOutcome",
+    "BaselineResult",
+    "Ceci",
+    "CflMatch",
+    "Daf",
+    "EXTEND_METHODS",
+    "GpSM",
+    "Gsi",
+    "JoinExecution",
+    "JoinStep",
+    "ParallelCeci",
+    "ParallelDaf",
+    "StageTrace",
+    "candidate_edge_count",
+    "candidate_vertices",
+    "count_reference_embeddings",
+    "execute_join_plan",
+    "iter_reference_embeddings",
+    "join_plan",
+    "reference_embeddings",
+    "run_backtracking",
+]

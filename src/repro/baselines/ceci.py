@@ -1,0 +1,104 @@
+"""CECI baseline (Bhattarai et al., SIGMOD 2019), instrumented.
+
+Key characteristics reproduced:
+
+* the **compact embedding cluster index** - a BFS-tree candidate index
+  with forward (tree) and backward (non-tree) candidate edges; our CST
+  carries exactly those edge sets;
+* **intersection-based** extension anchored at the tree parent: the
+  parent's forward-candidate row is intersected with the backward
+  neighbours' rows;
+* a **BFS matching order** over the index tree;
+* the index-duplication memory footprint that makes the paper's CECI
+  crash ("segment fault") on the billion-scale DG60 - modeled as the
+  cluster index's per-entry duplication against host memory.
+
+CECI's embedding-cluster compression (batching sibling leaf
+candidates) is simplified away; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.matcher_core import BacktrackOutcome, run_backtracking
+from repro.baselines.result import BaselineResult
+from repro.common.errors import ResourceExhausted
+from repro.costs.cpu import CpuCostModel
+from repro.costs.resources import ResourceLimits
+from repro.cst.builder import build_cst
+from repro.cst.structure import CST
+from repro.graph.graph import Graph
+from repro.query.query_graph import QueryGraph, as_query
+from repro.query.spanning_tree import build_bfs_tree, choose_root
+
+#: Modeled bytes of cluster-index bookkeeping per candidate-adjacency
+#: entry (CECI stores the edges once per direction plus cluster
+#: offsets and delta-encoded ids).
+CLUSTER_OVERHEAD_BYTES = 24
+
+
+@dataclass
+class Ceci:
+    """Instrumented CECI runner."""
+
+    cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    name: str = "CECI"
+
+    def matching_order(
+        self, query: Graph | QueryGraph, data: Graph
+    ) -> tuple[int, ...]:
+        """BFS order of the index tree."""
+        q = as_query(query)
+        tree = build_bfs_tree(q, choose_root(q, data))
+        return tuple(tree.bfs_order)
+
+    def build_index(self, query: Graph | QueryGraph, data: Graph) -> CST:
+        """The embedding-cluster index (structurally a full CST)."""
+        return build_cst(query, data)
+
+    def run(
+        self,
+        query: Graph | QueryGraph,
+        data: Graph,
+        track_roots: bool = False,
+    ) -> tuple[BaselineResult, BacktrackOutcome | None]:
+        """Match ``query``; the raw outcome feeds the CECI-8 model."""
+        q = as_query(query)
+        result = BaselineResult(algorithm=self.name)
+        try:
+            index = self.build_index(q, data)
+            self._check_memory(index, data)
+            result.counters.index_build_ops = (
+                index.total_candidates() + index.total_adjacency_entries()
+            )
+            result.index_seconds = self.cost_model.seconds(
+                result.counters, data.average_degree(), data.num_vertices
+            )
+            order = tuple(index.tree.bfs_order)
+            outcome = run_backtracking(
+                index, data, order, method="anchor_intersect",
+                cost_model=self.cost_model, limits=self.limits,
+                track_roots=track_roots,
+            )
+            result.counters.merge(outcome.counters)
+            result.embeddings = outcome.embeddings
+            result.seconds = self.cost_model.seconds(
+                result.counters, data.average_degree(), data.num_vertices
+            )
+            self.limits.check_time(result.seconds, self.name)
+            return result, outcome
+        except ResourceExhausted as exc:
+            result.verdict = exc.verdict
+            result.detail = str(exc)
+            return result, None
+
+    def _check_memory(self, index: CST, data: Graph) -> None:
+        cluster_bytes = (
+            index.total_adjacency_entries() * CLUSTER_OVERHEAD_BYTES
+        )
+        self.limits.check_memory(
+            data.memory_bytes() + index.size_bytes() + cluster_bytes,
+            f"{self.name} cluster index",
+        )

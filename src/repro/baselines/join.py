@@ -1,0 +1,304 @@
+"""Edge-join machinery for the GPU baselines.
+
+GpSM and GunrockSM/GSI compute matches as a sequence of massively
+parallel joins: collect candidate vertices/edges per query vertex/edge,
+then grow an intermediate table of partial assignments one query edge
+at a time. This module implements that pipeline exactly (vectorised
+over numpy, so results are exact and cross-checkable) and reports the
+per-stage work/traffic/residency numbers the GPU cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.graph.graph import Graph
+from repro.query.query_graph import QueryGraph
+
+#: Bytes per table cell (32-bit vertex ids on the device).
+CELL_BYTES = 4
+
+
+def candidate_vertices(q: QueryGraph, data: Graph, u: int) -> np.ndarray:
+    """Label-and-degree-filtered candidates of query vertex ``u``."""
+    cands = data.vertices_with_label(q.label(u))
+    degrees = np.diff(data.indptr)
+    return cands[degrees[cands] >= q.degree(u)]
+
+
+def candidate_edge_count(q: QueryGraph, data: Graph, a: int, b: int) -> int:
+    """Number of directed candidate pairs for query edge ``(a, b)``.
+
+    This is the size of the candidate-edge table GpSM materialises for
+    every query edge before joining.
+    """
+    cand_a = candidate_vertices(q, data, a)
+    if len(cand_a) == 0:
+        return 0
+    starts = data.indptr[cand_a]
+    lens = data.indptr[cand_a + 1] - starts
+    idx = _gather_ranges(starts, lens)
+    dsts = data.indices[idx]
+    degrees = np.diff(data.indptr)
+    mask = (data.labels[dsts] == q.label(b)) & (degrees[dsts] >= q.degree(b))
+    return int(mask.sum())
+
+
+@dataclass
+class JoinStep:
+    """One step of the join plan: bind ``vertex`` via ``edge`` or
+    filter an already-bound ``edge``."""
+
+    kind: str               # "extend" or "filter"
+    edge: tuple[int, int]   # (bound vertex, other vertex)
+
+
+def join_plan(q: QueryGraph, data: Graph) -> list[JoinStep]:
+    """Greedy connected edge order: extend by the smallest-candidate
+    vertex first, then filter the residual (cycle-closing) edges."""
+    counts = [len(candidate_vertices(q, data, u)) for u in
+              range(q.num_vertices)]
+    start = min(range(q.num_vertices), key=lambda u: counts[u])
+    bound = {start}
+    steps: list[JoinStep] = []
+    remaining = set()
+    for a, b in q.edges():
+        remaining.add((a, b))
+    while len(bound) < q.num_vertices:
+        frontier = [
+            (a, b) for (a, b) in remaining
+            if (a in bound) != (b in bound)
+        ]
+        if not frontier:
+            raise QueryError("query is disconnected")  # pragma: no cover
+        edge = min(
+            frontier,
+            key=lambda e: counts[e[1] if e[0] in bound else e[0]],
+        )
+        a, b = edge
+        if a not in bound:
+            a, b = b, a
+        steps.append(JoinStep(kind="extend", edge=(a, b)))
+        bound.add(b)
+        remaining.discard(edge)
+    for a, b in sorted(remaining):
+        steps.append(JoinStep(kind="filter", edge=(a, b)))
+    return steps
+
+
+@dataclass
+class StageTrace:
+    """Work/traffic numbers of one executed join stage."""
+
+    name: str
+    work_items: float
+    bytes_moved: float
+    resident_bytes: int
+    rows_out: int
+    #: Adjacency entries scanned by an extend stage (before label,
+    #: degree, and injectivity filtering) - the bound GSI's
+    #: Prealloc-Combine must reserve output slots for.
+    scanned: int = 0
+
+
+@dataclass
+class JoinExecution:
+    """Outcome of running a join plan to completion."""
+
+    columns: list[int]
+    table: np.ndarray           # (rows, len(columns)) data-vertex ids
+    stages: list[StageTrace]
+    peak_rows: int
+
+    @property
+    def num_embeddings(self) -> int:
+        return len(self.table)
+
+    def embeddings(self) -> list[tuple[int, ...]]:
+        """Rows reordered to query-vertex indexing."""
+        inverse = np.argsort(np.asarray(self.columns))
+        reordered = self.table[:, inverse]
+        return [tuple(int(v) for v in row) for row in reordered]
+
+
+#: Scanned adjacency entries processed per simulation chunk. Chunking
+#: bounds the *simulator's* memory while the modeled residency check
+#: aborts runs that would not fit the modeled device.
+CHUNK_SCAN_ENTRIES = 1 << 21
+
+
+def execute_join_plan(
+    q: QueryGraph,
+    data: Graph,
+    plan: list[JoinStep],
+    double_pass: bool = False,
+    resident_budget: int | None = None,
+    extra_resident: int = 0,
+    prealloc_scan: bool = False,
+) -> JoinExecution:
+    """Run the join plan, producing exact embeddings plus stage traces.
+
+    ``double_pass=True`` models GpSM's join-twice strategy (a counting
+    pass sizes the output, a second pass fills it): stage traffic
+    doubles but residency is exact. ``prealloc_scan=True`` models GSI's
+    Prealloc-Combine: residency covers one output slot per *scanned*
+    adjacency entry (reserved before filtering).
+
+    ``resident_budget`` (plus the caller's ``extra_resident`` bytes for
+    graph/edge tables) is enforced *during* execution, chunk by chunk,
+    so a run that would overflow the modeled device raises
+    :class:`ModeledOutOfMemory` without the simulator itself having to
+    materialise the oversized intermediate.
+    """
+    from repro.common.errors import ModeledOutOfMemory
+
+    degrees = np.diff(data.indptr)
+    first = plan[0].edge[0] if plan else 0
+    columns = [first]
+    table = candidate_vertices(q, data, first)[:, None]
+    stages: list[StageTrace] = []
+    peak_rows = len(table)
+    pass_factor = 2.0 if double_pass else 1.0
+
+    def check_budget(resident: int, name: str) -> None:
+        if resident_budget is not None and (
+            extra_resident + resident > resident_budget
+        ):
+            raise ModeledOutOfMemory(
+                f"{name}: modeled residency "
+                f"{extra_resident + resident} B exceeds the "
+                f"{resident_budget} B device budget"
+            )
+
+    check_budget(table.size * CELL_BYTES, f"scan C({first})")
+    stages.append(StageTrace(
+        name=f"scan C({first})",
+        work_items=float(data.num_vertices),
+        bytes_moved=float(data.num_vertices * CELL_BYTES),
+        resident_bytes=table.size * CELL_BYTES,
+        rows_out=len(table),
+    ))
+
+    for step in plan:
+        a, b = step.edge
+        col_a = columns.index(a)
+        if step.kind == "extend":
+            name = f"extend ({a},{b})"
+            width_out = len(columns) + 1
+            va = table[:, col_a]
+            starts = data.indptr[va]
+            lens = data.indptr[va + 1] - starts
+            total_scanned = int(lens.sum())
+            if prealloc_scan:
+                check_budget(
+                    (table.size + total_scanned * width_out) * CELL_BYTES,
+                    name,
+                )
+            pieces: list[np.ndarray] = []
+            out_rows = 0
+            row_cursor = 0
+            cum = np.cumsum(lens)
+            while row_cursor < len(table):
+                # Advance by whole table rows until the chunk's scan
+                # budget is met.
+                scanned_before = int(cum[row_cursor - 1]) if row_cursor else 0
+                chunk_end = int(np.searchsorted(
+                    cum, scanned_before + CHUNK_SCAN_ENTRIES, side="left"
+                )) + 1
+                chunk_end = min(max(chunk_end, row_cursor + 1), len(table))
+                sel = slice(row_cursor, chunk_end)
+                idx = _gather_ranges(starts[sel], lens[sel])
+                dsts = data.indices[idx]
+                rows_rep = row_cursor + np.repeat(
+                    np.arange(chunk_end - row_cursor, dtype=np.int64),
+                    lens[sel],
+                )
+                mask = (data.labels[dsts] == q.label(b)) & (
+                    degrees[dsts] >= q.degree(b)
+                )
+                # Injectivity against every bound column, columnwise to
+                # avoid materialising the expanded block pre-filter.
+                for col in range(len(columns)):
+                    mask &= table[rows_rep, col] != dsts
+                piece = np.concatenate(
+                    [table[rows_rep[mask]], dsts[mask][:, None]], axis=1
+                )
+                pieces.append(piece)
+                out_rows += len(piece)
+                row_cursor = chunk_end
+                check_budget(
+                    (table.size + out_rows * width_out) * CELL_BYTES, name
+                )
+            new_table = (
+                np.concatenate(pieces, axis=0) if pieces
+                else np.empty((0, width_out), dtype=np.int64)
+            )
+            work = float(total_scanned + len(table))
+            moved = pass_factor * float(
+                (total_scanned * width_out + new_table.size) * CELL_BYTES
+            )
+            columns = columns + [b]
+            resident = (table.size + new_table.size) * CELL_BYTES
+            if prealloc_scan:
+                resident = (
+                    table.size + total_scanned * width_out
+                ) * CELL_BYTES
+            table = new_table
+            stages.append(StageTrace(
+                name=name,
+                work_items=work,
+                bytes_moved=moved,
+                resident_bytes=resident,
+                rows_out=len(table),
+                scanned=total_scanned,
+            ))
+        else:
+            mask = _edges_exist(
+                data, table[:, col_a], table[:, columns.index(b)]
+            )
+            new_table = table[mask]
+            resident = (table.size + new_table.size) * CELL_BYTES
+            check_budget(resident, f"filter ({a},{b})")
+            stages.append(StageTrace(
+                name=f"filter ({a},{b})",
+                work_items=float(len(table)),
+                bytes_moved=pass_factor * float(
+                    (table.size + new_table.size) * CELL_BYTES
+                ),
+                resident_bytes=resident,
+                rows_out=len(new_table),
+            ))
+            table = new_table
+        peak_rows = max(peak_rows, len(table))
+
+    return JoinExecution(
+        columns=columns, table=table, stages=stages, peak_rows=peak_rows
+    )
+
+
+def _edges_exist(data: Graph, us: np.ndarray, vs: np.ndarray) -> np.ndarray:
+    """Vectorised edge-existence test via a sorted (src, dst) key."""
+    n = data.num_vertices
+    src = np.repeat(
+        np.arange(n, dtype=np.int64), np.diff(data.indptr)
+    )
+    keys = src * n + data.indices
+    queries = us * np.int64(n) + vs
+    slots = np.searchsorted(keys, queries)
+    slots = np.minimum(slots, max(0, len(keys) - 1))
+    if len(keys) == 0:
+        return np.zeros(len(us), dtype=bool)
+    return keys[slots] == queries
+
+
+def _gather_ranges(starts: np.ndarray, lens: np.ndarray) -> np.ndarray:
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    shift = np.concatenate(
+        ([np.int64(0)], np.cumsum(lens[:-1], dtype=np.int64))
+    )
+    return np.repeat(starts - shift, lens) + np.arange(total, dtype=np.int64)

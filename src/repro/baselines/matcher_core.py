@@ -1,0 +1,289 @@
+"""Instrumented backtracking core shared by the CPU baselines.
+
+CFL-Match, DAF and CECI share the indexing-enumeration skeleton but
+differ in how a partial embedding is extended:
+
+``verify`` (CFL-Match)
+    Extensions come from the spanning-tree parent's candidate adjacency
+    row; every other matched query neighbour is verified with an
+    *edge probe against the data graph* (the edge-verification method
+    the paper contrasts with FAST's one-cycle checks).
+``intersect`` (DAF)
+    Extensions are the *intersection* of the candidate adjacency rows
+    of all matched query neighbours.
+``anchor_intersect`` (CECI)
+    The tree parent's row is intersected with the rows of the other
+    matched (backward) neighbours.
+
+All three count their dominant operations into
+:class:`~repro.costs.cpu.OpCounters`; modeled time is checked against a
+:class:`~repro.costs.resources.ResourceLimits` deadline periodically so
+that runaway queries surface as the paper's 'INF' verdict instead of
+burning unbounded wall-clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.costs.cpu import CpuCostModel, OpCounters
+from repro.costs.resources import ResourceLimits
+from repro.cst.structure import CST
+from repro.graph.graph import Graph
+from repro.query.ordering import validate_order
+
+#: How many recursive calls between modeled-deadline checks.
+_DEADLINE_CHECK_EVERY = 1 << 15
+
+EXTEND_METHODS = ("verify", "intersect", "anchor_intersect")
+
+
+@dataclass
+class BacktrackOutcome:
+    """Result of one instrumented backtracking run."""
+
+    embeddings: int = 0
+    counters: OpCounters = field(default_factory=OpCounters)
+    #: Modeled seconds per root-candidate subtree, for the LPT thread
+    #: balance model of the parallel variants.
+    per_root_seconds: list[float] = field(default_factory=list)
+
+
+def run_backtracking(
+    cst: CST,
+    data: Graph,
+    order: tuple[int, ...],
+    method: str,
+    cost_model: CpuCostModel | None = None,
+    limits: ResourceLimits | None = None,
+    avg_degree: float | None = None,
+    track_roots: bool = False,
+    failing_set: bool = False,
+) -> BacktrackOutcome:
+    """Enumerate all embeddings with the chosen extension method.
+
+    Raises :class:`~repro.common.errors.ModeledTimeout` when modeled
+    time passes the limit. ``track_roots`` records per-root-candidate
+    modeled seconds for the parallel cost model.
+
+    ``failing_set=True`` enables DAF's failing-set pruning (simplified
+    per Han et al. 2019): when a candidate's subtree produces no
+    embedding and its failing set excludes the current query vertex,
+    the remaining sibling candidates are skipped. Pruning never drops
+    embeddings - it only fires on completely failed subtrees - which
+    the tests verify.
+    """
+    if method not in EXTEND_METHODS:
+        raise QueryError(f"unknown extension method {method!r}")
+    q = cst.query
+    validate_order(q, order)
+    cost_model = cost_model or CpuCostModel()
+    if avg_degree is None:
+        avg_degree = data.average_degree()
+
+    rank = {u: i for i, u in enumerate(order)}
+    n = q.num_vertices
+    tree_parent = cst.tree.parent
+
+    # Per step: anchor (tree parent for the anchored methods, earliest
+    # matched neighbour otherwise) and the other matched neighbours.
+    anchors: list[int] = [-1]
+    others: list[tuple[int, ...]] = [()]
+    for i in range(1, n):
+        u = order[i]
+        matched = [w for w in q.neighbors(u) if rank[w] < i]
+        if not matched:
+            raise QueryError("order is not connected")  # pragma: no cover
+        if method in ("verify", "anchor_intersect"):
+            parent = tree_parent[u]
+            if parent < 0 or rank[parent] >= i:
+                raise QueryError(
+                    f"order is not tree-compatible at vertex {u}: its "
+                    "spanning-tree parent must be matched first"
+                )
+            anchor = parent
+        else:
+            anchor = min(matched, key=rank.__getitem__)
+        anchors.append(anchor)
+        others.append(tuple(w for w in matched if w != anchor))
+
+    outcome = BacktrackOutcome()
+    counters = outcome.counters
+    positions = [-1] * n
+    used: set[int] = set()
+    deadline_ctr = 0
+
+    num_vertices = data.num_vertices
+
+    def check_deadline() -> None:
+        nonlocal deadline_ctr
+        deadline_ctr += 1
+        if limits is not None and deadline_ctr % _DEADLINE_CHECK_EVERY == 0:
+            limits.check_time(
+                cost_model.seconds(counters, avg_degree, num_vertices),
+                method,
+            )
+
+    def extensions(step: int) -> np.ndarray:
+        u = order[step]
+        anchor_row = cst.neighbors_of(anchors[step], u, positions[anchors[step]])
+        if method == "verify":
+            return anchor_row
+        pool = anchor_row
+        neighbours = others[step] if method == "anchor_intersect" else (
+            others[step]
+        )
+        if method == "intersect":
+            # DAF intersects every matched neighbour including the
+            # anchor; start from the smallest row for the usual
+            # galloping benefit (counted pessimistically as full scans).
+            rows = [anchor_row] + [
+                cst.neighbors_of(w, u, positions[w]) for w in others[step]
+            ]
+            rows.sort(key=len)
+            pool = rows[0]
+            counters.intersection_elements += sum(len(r) for r in rows)
+            for row in rows[1:]:
+                pool = np.intersect1d(pool, row, assume_unique=True)
+                if len(pool) == 0:
+                    break
+            return pool
+        # anchor_intersect: anchor row refined by backward neighbours.
+        for w in neighbours:
+            row = cst.neighbors_of(w, u, positions[w])
+            counters.intersection_elements += len(row) + len(pool)
+            pool = np.intersect1d(pool, row, assume_unique=True)
+            if len(pool) == 0:
+                break
+        return pool
+
+    def backtrack(step: int) -> None:
+        counters.recursive_calls += 1
+        check_deadline()
+        if step == n:
+            counters.embeddings += 1
+            outcome.embeddings += 1
+            return
+        u = order[step]
+        pool = extensions(step)
+        for pos in pool:
+            pos = int(pos)
+            counters.extensions += 1
+            v = cst.vertex_at(u, pos)
+            if v in used:
+                continue
+            if method == "verify":
+                ok = True
+                for w in others[step]:
+                    counters.edge_checks += 1
+                    if not data.has_edge(v, cst.vertex_at(w, positions[w])):
+                        ok = False
+                        break
+                if not ok:
+                    continue
+            positions[u] = pos
+            used.add(v)
+            backtrack(step + 1)
+            used.discard(v)
+            positions[u] = -1
+
+    # Map data vertex -> query vertex currently using it, for the
+    # failing-set conflict rule.
+    owner: dict[int, int] = {}
+
+    # Ancestor closures: a vertex's candidate pool is determined by its
+    # matched query neighbours, transitively back to the root. DAF's
+    # failing-set classes are closed under these ancestors - without
+    # the closure the "failure independent of u" test is unsound
+    # (changing M(u) changes which pools exist downstream).
+    closure: dict[int, frozenset] = {order[0]: frozenset((order[0],))}
+    for i in range(1, n):
+        u_i = order[i]
+        acc = {u_i} | set(closure[anchors[i]])
+        for w in others[i]:
+            acc |= closure[w]
+        closure[u_i] = frozenset(acc)
+
+    def backtrack_fs(step: int) -> frozenset | None:
+        """Failing-set variant; returns the failing set when the
+        subtree produced no embedding, else None.
+
+        A returned set F has the doom property: any partial embedding
+        agreeing with the current one on F fails in this subtree, so a
+        sibling whose extension vertex is outside F is skipped.
+        """
+        counters.recursive_calls += 1
+        check_deadline()
+        if step == n:
+            counters.embeddings += 1
+            outcome.embeddings += 1
+            return None
+        u = order[step]
+        pool = extensions(step)
+        if len(pool) == 0:
+            # Emptyset class: the ancestor closure of the vertex whose
+            # candidate pool came up empty.
+            return closure[u]
+        any_success = False
+        union: set = set()
+        for pos in pool:
+            pos = int(pos)
+            counters.extensions += 1
+            v = cst.vertex_at(u, pos)
+            if v in used:
+                # Conflict class: u collides with v's current owner.
+                union |= closure[u] | closure[owner[v]]
+                continue
+            positions[u] = pos
+            used.add(v)
+            owner[v] = u
+            child = backtrack_fs(step + 1)
+            used.discard(v)
+            del owner[v]
+            positions[u] = -1
+            if child is None:
+                any_success = True
+                continue
+            if u not in child:
+                # DAF's pruning rule: the failure does not involve u,
+                # so every remaining sibling candidate fails the same
+                # way - skip them all.
+                return None if any_success else child
+            union |= child
+        if any_success:
+            return None
+        return frozenset(union)
+
+    root = order[0]
+    before = 0.0
+    pruned_roots = False
+    for root_pos in range(cst.candidate_count(root)):
+        counters.recursive_calls += 1
+        check_deadline()
+        counters.extensions += 1
+        v = cst.vertex_at(root, root_pos)
+        positions[root] = root_pos
+        used.add(v)
+        if n == 1:
+            counters.embeddings += 1
+            outcome.embeddings += 1
+        elif failing_set:
+            owner[v] = root
+            child = backtrack_fs(1)
+            del owner[v]
+            if child is not None and root not in child:
+                pruned_roots = True
+        else:
+            backtrack(1)
+        used.discard(v)
+        positions[root] = -1
+        if track_roots:
+            now = cost_model.seconds(counters, avg_degree, num_vertices)
+            outcome.per_root_seconds.append(now - before)
+            before = now
+        if pruned_roots:
+            break
+    return outcome

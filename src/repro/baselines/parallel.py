@@ -1,0 +1,118 @@
+"""Multi-threaded baseline variants (DAF-8, CECI-8).
+
+The paper evaluates 8-thread DAF and CECI. Re-running Python
+backtracking on real threads would measure the GIL, not the algorithm,
+so parallelism is *modeled*: the single-thread run records the modeled
+cost of each root-candidate subtree, an LPT scheduler assigns subtrees
+to ``k`` threads, and the modeled parallel time is the slowest
+thread's load plus a synchronisation overhead. Power-law stragglers
+therefore limit speedup exactly as they do on real hardware.
+
+DAF-8's additional failure mode is memory: each thread materialises
+its own frontier of partial embeddings, which scales with the weighted
+search space; on the label-poor LDBC graphs that buffer outgrows host
+memory from DG03 up (the paper's reported DAF-8 OOM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.ceci import Ceci
+from repro.baselines.daf import Daf
+from repro.baselines.result import BaselineResult
+from repro.common.errors import ResourceExhausted
+from repro.costs.cpu import CpuCostModel, ThreadedCostResult, balance_lpt
+from repro.costs.resources import ResourceLimits
+from repro.cst.workload import estimate_workload
+from repro.graph.graph import Graph
+from repro.query.query_graph import QueryGraph
+
+#: Modeled bytes of per-thread partial-embedding buffer per unit of
+#: estimated (tree-embedding) workload.
+DAF_BUFFER_BYTES_PER_UNIT = 1.0
+
+
+@dataclass
+class ParallelDaf:
+    """DAF on ``num_threads`` modeled threads."""
+
+    num_threads: int = 8
+    cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+
+    @property
+    def name(self) -> str:
+        return f"DAF-{self.num_threads}"
+
+    def run(self, query: Graph | QueryGraph, data: Graph) -> BaselineResult:
+        serial = Daf(cost_model=self.cost_model, limits=self.limits)
+        result = BaselineResult(algorithm=self.name)
+        try:
+            cs = serial.build_cs(query, data)
+            buffer_bytes = (
+                estimate_workload(cs) * DAF_BUFFER_BYTES_PER_UNIT
+            )
+            self.limits.check_memory(
+                data.memory_bytes() + cs.size_bytes() + buffer_bytes,
+                f"{self.name} per-thread frontier buffers",
+            )
+        except ResourceExhausted as exc:
+            result.verdict = exc.verdict
+            result.detail = str(exc)
+            return result
+        base, outcome = serial.run(query, data, track_roots=True)
+        if not base.ok or outcome is None:
+            base.algorithm = self.name
+            return base
+        return _parallelise(self.name, base, outcome.per_root_seconds,
+                            self.num_threads, self.limits)
+
+
+@dataclass
+class ParallelCeci:
+    """CECI on ``num_threads`` modeled threads."""
+
+    num_threads: int = 8
+    cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+
+    @property
+    def name(self) -> str:
+        return f"CECI-{self.num_threads}"
+
+    def run(self, query: Graph | QueryGraph, data: Graph) -> BaselineResult:
+        serial = Ceci(cost_model=self.cost_model, limits=self.limits)
+        base, outcome = serial.run(query, data, track_roots=True)
+        if not base.ok or outcome is None:
+            base.algorithm = self.name
+            return base
+        return _parallelise(self.name, base, outcome.per_root_seconds,
+                            self.num_threads, self.limits)
+
+
+def _parallelise(
+    name: str,
+    base: BaselineResult,
+    per_root_seconds: list[float],
+    num_threads: int,
+    limits: ResourceLimits,
+) -> BaselineResult:
+    """Convert a serial result + per-root costs into a threaded one."""
+    threaded = ThreadedCostResult(
+        num_threads=num_threads,
+        per_thread_seconds=balance_lpt(per_root_seconds, num_threads),
+    )
+    result = BaselineResult(
+        algorithm=name,
+        embeddings=base.embeddings,
+        index_seconds=base.index_seconds,
+        counters=base.counters,
+    )
+    result.seconds = base.index_seconds + threaded.seconds
+    try:
+        limits.check_time(result.seconds, name)
+    except ResourceExhausted as exc:  # pragma: no cover - rare path
+        result.verdict = exc.verdict
+        result.detail = str(exc)
+    return result

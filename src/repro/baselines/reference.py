@@ -1,0 +1,117 @@
+"""Reference brute-force subgraph matcher.
+
+A deliberately simple backtracking enumerator used as ground truth by
+the test suite and as the host-side matcher's correctness oracle. It
+applies only the definitional constraints (label equality, injectivity,
+edge preservation) with a connected matching order - no candidate
+indexing, no pruning heuristics - so its answers are easy to trust.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graph.graph import Graph
+from repro.query.ordering import validate_order
+from repro.query.query_graph import QueryGraph, as_query
+
+
+def reference_embeddings(
+    query: Graph | QueryGraph,
+    data: Graph,
+    order: tuple[int, ...] | None = None,
+    limit: int | None = None,
+) -> list[tuple[int, ...]]:
+    """All subgraph-isomorphism embeddings of ``query`` in ``data``.
+
+    Each embedding is a tuple ``m`` with ``m[u]`` the data vertex
+    mapped to query vertex ``u``. ``limit`` stops enumeration early
+    (for tests probing huge result sets).
+    """
+    out = []
+    for emb in iter_reference_embeddings(query, data, order):
+        out.append(emb)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def count_reference_embeddings(
+    query: Graph | QueryGraph,
+    data: Graph,
+    order: tuple[int, ...] | None = None,
+) -> int:
+    """Number of embeddings (without materialising them)."""
+    return sum(1 for _ in iter_reference_embeddings(query, data, order))
+
+
+def iter_reference_embeddings(
+    query: Graph | QueryGraph,
+    data: Graph,
+    order: tuple[int, ...] | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Lazily enumerate embeddings in lexicographic order of ``order``."""
+    q = as_query(query)
+    if order is None:
+        order = _default_order(q)
+    else:
+        validate_order(q, order)
+
+    n = q.num_vertices
+    mapping = [-1] * n
+    used: set[int] = set()
+
+    # Pre-compute, for each order step, the earlier-matched neighbours.
+    earlier: list[list[int]] = []
+    seen: set[int] = set()
+    for u in order:
+        earlier.append([w for w in q.neighbors(u) if w in seen])
+        seen.add(u)
+
+    def candidates(step: int) -> Iterator[int]:
+        u = order[step]
+        want = q.label(u)
+        anchors = earlier[step]
+        if anchors:
+            # Expand from the lowest-degree matched neighbour.
+            pivot = min(anchors, key=lambda w: data.degree(mapping[w]))
+            pool = data.neighbors(mapping[pivot])
+        else:
+            pool = data.vertices_with_label(want)
+        for v in pool:
+            v = int(v)
+            if data.label(v) != want or v in used:
+                continue
+            if all(
+                data.has_edge(v, mapping[w]) for w in anchors
+            ):
+                yield v
+
+    def backtrack(step: int) -> Iterator[tuple[int, ...]]:
+        if step == n:
+            yield tuple(mapping)
+            return
+        u = order[step]
+        for v in candidates(step):
+            mapping[u] = v
+            used.add(v)
+            yield from backtrack(step + 1)
+            used.discard(v)
+            mapping[u] = -1
+
+    yield from backtrack(0)
+
+
+def _default_order(q: QueryGraph) -> tuple[int, ...]:
+    """Highest-degree-first connected order (no data statistics)."""
+    start = max(range(q.num_vertices), key=q.degree)
+    order = [start]
+    seen = {start}
+    while len(order) < q.num_vertices:
+        frontier = sorted(
+            {w for u in order for w in q.neighbors(u) if w not in seen}
+        )
+        u = max(frontier, key=lambda w: (q.degree(w), -w))
+        order.append(u)
+        seen.add(u)
+    return tuple(order)

@@ -1,0 +1,43 @@
+"""Uniform result type for baseline algorithm runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costs.cpu import OpCounters
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of one algorithm on one (query, data) pair.
+
+    ``verdict`` is ``"OK"`` or one of the paper's failure verdicts
+    (``"OOM"``, ``"INF"``, ``"OVERFLOW"``); on failure ``embeddings``
+    and timings are meaningless and ``detail`` explains the cause.
+    """
+
+    algorithm: str
+    verdict: str = "OK"
+    embeddings: int = 0
+    #: Modeled end-to-end seconds (index build + enumeration).
+    seconds: float = 0.0
+    #: Modeled seconds spent building the auxiliary index.
+    index_seconds: float = 0.0
+    counters: OpCounters = field(default_factory=OpCounters)
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict == "OK"
+
+    @property
+    def enumeration_seconds(self) -> float:
+        return self.seconds - self.index_seconds
+
+    def summary(self) -> dict[str, object]:
+        return {
+            "algorithm": self.algorithm,
+            "verdict": self.verdict,
+            "embeddings": self.embeddings,
+            "seconds": self.seconds,
+        }

@@ -1,0 +1,126 @@
+"""Command-line interface.
+
+Three subcommands mirror the common workflows::
+
+    python -m repro match   --dataset DG-MINI --query q1 [--variant share]
+    python -m repro compare --dataset DG-MINI --query q2 [--algorithms ...]
+    python -m repro info    --dataset DG01
+
+``match`` runs the FAST pipeline, ``compare`` pits FAST against the
+baselines, ``info`` prints Table III-style dataset statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.common.tables import render_kv, render_table
+from repro.experiments.harness import ALGORITHMS, HarnessConfig, make_runner
+from repro.host.runtime import RUNNER_VARIANTS, FastRunner
+from repro.ldbc.datasets import DATASET_SCALES, MICRO_SCALES, load_dataset
+from repro.ldbc.queries import QUERY_NAMES, get_query
+
+_ALL_DATASETS = sorted({**DATASET_SCALES, **MICRO_SCALES})
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FAST (ICDE 2021) subgraph matching reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    match = sub.add_parser("match", help="run FAST on one query")
+    match.add_argument("--dataset", default="DG-MINI",
+                       choices=_ALL_DATASETS)
+    match.add_argument("--query", default="q1", choices=list(QUERY_NAMES))
+    match.add_argument("--variant", default="share",
+                       choices=list(RUNNER_VARIANTS))
+    match.add_argument("--delta", type=float, default=0.1,
+                       help="CPU workload share threshold")
+
+    compare = sub.add_parser("compare",
+                             help="FAST vs baselines on one query")
+    compare.add_argument("--dataset", default="DG-MINI",
+                         choices=_ALL_DATASETS)
+    compare.add_argument("--query", default="q2",
+                         choices=list(QUERY_NAMES))
+    compare.add_argument("--algorithms", nargs="+",
+                         default=["CFL", "DAF", "CECI", "FAST"],
+                         choices=list(ALGORITHMS))
+
+    info = sub.add_parser("info", help="dataset statistics (Table III)")
+    info.add_argument("--dataset", default="DG01", choices=_ALL_DATASETS)
+    return parser
+
+
+def cmd_match(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    query = get_query(args.query)
+    runner = FastRunner(variant=args.variant, delta=args.delta)
+    result = runner.run(query.graph, dataset.graph)
+    print(render_kv(
+        f"FAST-{args.variant.upper()} {args.query} on {args.dataset}",
+        [
+            ("embeddings", result.embeddings),
+            ("total_ms", result.total_seconds * 1e3),
+            ("build_ms", result.build_seconds * 1e3),
+            ("partition_ms", result.partition_seconds * 1e3),
+            ("pcie_ms", result.pcie_seconds * 1e3),
+            ("kernel_ms", result.kernel_seconds * 1e3),
+            ("cpu_share_ms", result.cpu_share_seconds * 1e3),
+            ("partitions", result.num_partitions),
+            ("cpu_csts", result.num_cpu_csts),
+            ("N (partials)", result.kernel_report.total_partials),
+            ("M (edge tasks)", result.kernel_report.total_edge_tasks),
+        ],
+    ))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = HarnessConfig()
+    dataset = load_dataset(args.dataset)
+    query = get_query(args.query)
+    rows = []
+    counts = set()
+    for name in args.algorithms:
+        verdict, seconds, embeddings = make_runner(name, config)(
+            query.graph, dataset.graph
+        )
+        if verdict == "OK":
+            counts.add(embeddings)
+            rows.append([name, f"{seconds * 1e3:.3f}", embeddings])
+        else:
+            rows.append([name, verdict, "-"])
+    print(render_table(
+        ["algorithm", "time_ms", "embeddings"], rows,
+        title=f"{args.query} on {args.dataset}",
+    ))
+    if len(counts) > 1:
+        print(f"warning: embedding count disagreement: {counts}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    dataset = load_dataset(args.dataset)
+    info = dataset.summary()
+    print(render_kv(f"dataset {args.dataset}", list(info.items())))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "match": cmd_match,
+        "compare": cmd_compare,
+        "info": cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Shared utilities: errors, deterministic RNG, text tables."""
+
+from repro.common.errors import (
+    BufferOverflowError,
+    CSTError,
+    DeviceError,
+    ExperimentError,
+    GraphError,
+    ModeledOutOfMemory,
+    ModeledOverflow,
+    ModeledTimeout,
+    PartitionError,
+    QueryError,
+    ReproError,
+    ResourceExhausted,
+    SchedulerError,
+)
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng
+from repro.common.tables import format_value, render_kv, render_table
+
+__all__ = [
+    "BufferOverflowError",
+    "CSTError",
+    "DEFAULT_SEED",
+    "DeviceError",
+    "ExperimentError",
+    "GraphError",
+    "ModeledOutOfMemory",
+    "ModeledOverflow",
+    "ModeledTimeout",
+    "PartitionError",
+    "QueryError",
+    "ReproError",
+    "ResourceExhausted",
+    "SchedulerError",
+    "derive_seed",
+    "format_value",
+    "make_rng",
+    "render_kv",
+    "render_table",
+]

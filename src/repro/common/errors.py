@@ -1,0 +1,85 @@
+"""Exception hierarchy shared across the reproduction.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """A graph is malformed or an operation received an invalid vertex."""
+
+
+class QueryError(ReproError):
+    """A query graph violates the constraints of the matching problem."""
+
+
+class CSTError(ReproError):
+    """Construction or partitioning of a candidate search tree failed."""
+
+
+class PartitionError(CSTError):
+    """A CST partition request cannot be satisfied."""
+
+
+class DeviceError(ReproError):
+    """The simulated FPGA device was configured or driven incorrectly."""
+
+
+class BufferOverflowError(DeviceError):
+    """A BRAM buffer exceeded its allocated capacity.
+
+    Under the deepest-first expansion policy of Section VI-B this should
+    never happen; seeing it means either the policy was disabled or the
+    buffer was sized below ``(|V(q)| - 1) * N_o``.
+    """
+
+
+class SchedulerError(ReproError):
+    """The host-side workload scheduler was misconfigured."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver received inconsistent parameters."""
+
+
+class ResourceExhausted(ReproError):
+    """Base class for modeled resource-exhaustion verdicts (OOM/INF)."""
+
+    verdict = "FAIL"
+
+
+class ModeledOutOfMemory(ResourceExhausted):
+    """The modeled memory accounting exceeded the device capacity.
+
+    Mirrors the 'OOM' verdict the paper reports for CFL-Match on DG60
+    and DAF-8 on DG03/DG10.
+    """
+
+    verdict = "OOM"
+
+
+class ModeledTimeout(ResourceExhausted):
+    """The modeled execution time exceeded the experiment time limit.
+
+    Mirrors the 'INF' verdict the paper reports for queries that exceed
+    the 3-hour limit.
+    """
+
+    verdict = "INF"
+
+
+class ModeledOverflow(ResourceExhausted):
+    """A modeled counter overflowed its width.
+
+    Mirrors the overflow errors the paper reports for DAF on DG60, caused
+    by the large search space under few labels.
+    """
+
+    verdict = "OVERFLOW"

@@ -1,0 +1,66 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment drivers print results in the same row/column layout as
+the paper's tables and figure series. Rendering is dependency-free and
+deterministic so the benchmark output files diff cleanly between runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_value(value: object, float_digits: int = 3) -> str:
+    """Render one cell: floats get fixed precision, the rest ``str()``."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude != 0 and (magnitude >= 1e6 or magnitude < 1e-3):
+            return f"{value:.{float_digits}e}"
+        return f"{value:,.{float_digits}f}"
+    if isinstance(value, int) and abs(value) >= 10000:
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_digits: int = 3,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    text_rows = [
+        [format_value(cell, float_digits) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} "
+                f"columns: {row!r}"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_kv(title: str, pairs: Iterable[tuple[str, object]]) -> str:
+    """Render key/value pairs as an indented block."""
+    lines = [title]
+    for key, value in pairs:
+        lines.append(f"  {key}: {format_value(value)}")
+    return "\n".join(lines)

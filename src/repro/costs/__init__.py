@@ -1,0 +1,28 @@
+"""Device cost models and modeled resource limits."""
+
+from repro.costs.cpu import (
+    CpuCostModel,
+    OpCounters,
+    ThreadedCostResult,
+    balance_lpt,
+)
+from repro.costs.gpu import GpuCostModel, GpuRunStats
+from repro.costs.resources import (
+    COUNTER_OVERFLOW_LIMIT,
+    DEFAULT_HOST_MEMORY_BYTES,
+    DEFAULT_TIME_LIMIT_SECONDS,
+    ResourceLimits,
+)
+
+__all__ = [
+    "COUNTER_OVERFLOW_LIMIT",
+    "CpuCostModel",
+    "DEFAULT_HOST_MEMORY_BYTES",
+    "DEFAULT_TIME_LIMIT_SECONDS",
+    "GpuCostModel",
+    "GpuRunStats",
+    "OpCounters",
+    "ResourceLimits",
+    "ThreadedCostResult",
+    "balance_lpt",
+]

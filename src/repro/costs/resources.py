@@ -1,0 +1,61 @@
+"""Modeled resource limits and failure verdicts.
+
+The paper's evaluation machine has 250 GB of host memory and enforces a
+3-hour per-query limit; algorithms that exceed them are reported as
+'OOM' or 'INF' (and DAF's counter overflow on DG60 as a third failure
+mode). Our datasets are ~1/1000 of the paper's, so capacities scale by
+the same factor to keep the failure frontier at the same relative
+dataset sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import (
+    ModeledOutOfMemory,
+    ModeledOverflow,
+    ModeledTimeout,
+)
+
+#: Host memory, scaled from the paper's 250 GB.
+DEFAULT_HOST_MEMORY_BYTES = 250 * 1024 * 1024
+
+#: Per-query modeled time limit, scaled from the paper's 3 hours.
+DEFAULT_TIME_LIMIT_SECONDS = 10.8
+
+#: 32-bit signed counter bound; DAF's per-candidate embedding counters
+#: overflow past this (the paper's DG60 failure).
+COUNTER_OVERFLOW_LIMIT = 2**31 - 1
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """The failure frontier an algorithm run is checked against."""
+
+    host_memory_bytes: int = DEFAULT_HOST_MEMORY_BYTES
+    time_limit_seconds: float = DEFAULT_TIME_LIMIT_SECONDS
+    counter_limit: int = COUNTER_OVERFLOW_LIMIT
+
+    def check_memory(self, needed_bytes: float, what: str) -> None:
+        """Raise :class:`ModeledOutOfMemory` when the host would OOM."""
+        if needed_bytes > self.host_memory_bytes:
+            raise ModeledOutOfMemory(
+                f"{what}: needs {needed_bytes:.3g} B, host has "
+                f"{self.host_memory_bytes} B"
+            )
+
+    def check_time(self, seconds: float, what: str) -> None:
+        """Raise :class:`ModeledTimeout` when past the time limit."""
+        if seconds > self.time_limit_seconds:
+            raise ModeledTimeout(
+                f"{what}: modeled {seconds:.3g} s exceeds the "
+                f"{self.time_limit_seconds} s limit"
+            )
+
+    def check_counter(self, value: float, what: str) -> None:
+        """Raise :class:`ModeledOverflow` for 32-bit counter overflow."""
+        if value > self.counter_limit:
+            raise ModeledOverflow(
+                f"{what}: counter value {value:.3g} exceeds 2^31 - 1"
+            )

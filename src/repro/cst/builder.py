@@ -1,0 +1,264 @@
+"""CST construction (Algorithm 1 of the paper).
+
+Three phases over the BFS tree ``t_q``:
+
+1. **Top-down construction** - candidates of each vertex are collected
+   from the data-graph neighbourhoods of its tree parent's candidates,
+   filtered by label and degree (the "local features" of line 2/4).
+2. **Bottom-up refinement** - a candidate is valid only if it has at
+   least one CST neighbour in every child's candidate set; invalid
+   candidates and their adjacency rows are removed (lines 8-14).
+3. **Non-tree edges** - candidate-level edges are added for every
+   non-tree query edge by intersecting data adjacency with the
+   candidate sets (lines 15-19). Unlike CS (DAF), candidates are *not*
+   re-refined against non-tree edges: the paper trades a slightly
+   larger search space for much cheaper construction.
+
+An optional orphan sweep (top-down removal of candidates that lost all
+parents during refinement) matches the "first two refinements of CS"
+equivalence the paper claims; it only shrinks the structure and cannot
+affect soundness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import CSTError
+from repro.cst.structure import CST, CandidateAdjacency
+from repro.graph.graph import Graph
+from repro.query.query_graph import QueryGraph, as_query
+from repro.query.spanning_tree import SpanningTree, build_bfs_tree, choose_root
+
+
+def build_cst(
+    query: Graph | QueryGraph,
+    data: Graph,
+    root: int | None = None,
+    tree: SpanningTree | None = None,
+    prune_orphans: bool = True,
+    include_non_tree: bool = True,
+) -> CST:
+    """Build the CST of ``query`` over ``data`` (Algorithm 1).
+
+    ``root``/``tree`` override the default selectivity-based root
+    choice; ``prune_orphans`` enables the post-refinement orphan sweep.
+    ``include_non_tree=False`` yields a tree-only index (a CPI, as
+    CFL-Match builds) whose non-tree constraints must be checked
+    against the data graph at match time.
+    """
+    q = as_query(query)
+    if tree is None:
+        if root is None:
+            root = choose_root(q, data)
+        tree = build_bfs_tree(q, root)
+    elif root is not None and tree.root != root:
+        raise CSTError("both tree and root given but tree.root differs")
+
+    data_degrees = np.diff(data.indptr)
+    cand: list[np.ndarray] = [
+        np.empty(0, dtype=np.int64) for _ in range(q.num_vertices)
+    ]
+    # tree_rows[u][i] = data ids of C(u) adjacent to the i-th candidate
+    # of u's tree parent (the paper's N^{u_p}_{u}).
+    tree_rows: dict[int, list[np.ndarray]] = {}
+
+    _top_down(q, data, tree, data_degrees, cand, tree_rows)
+    _bottom_up(tree, cand, tree_rows)
+    if prune_orphans:
+        _prune_orphans(tree, cand, tree_rows)
+    if include_non_tree:
+        ntree_rows = _non_tree_edges(q, data, tree, cand)
+    else:
+        ntree_rows = {}
+    return _freeze(
+        q, tree, cand, tree_rows, ntree_rows,
+        tree_only=not include_non_tree,
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase 1: top-down construction
+# ----------------------------------------------------------------------
+
+
+def _initial_candidates(
+    q: QueryGraph, data: Graph, degrees: np.ndarray, u: int
+) -> np.ndarray:
+    """Label-and-degree filtered candidate set (line 2/4)."""
+    byte_label = data.vertices_with_label(q.label(u))
+    return byte_label[degrees[byte_label] >= q.degree(u)]
+
+
+def _top_down(
+    q: QueryGraph,
+    data: Graph,
+    tree: SpanningTree,
+    degrees: np.ndarray,
+    cand: list[np.ndarray],
+    tree_rows: dict[int, list[np.ndarray]],
+) -> None:
+    root = tree.root
+    cand[root] = _initial_candidates(q, data, degrees, root)
+    labels = data.labels
+    for u in tree.bfs_order[1:]:
+        u_p = tree.parent[u]
+        want_label = q.label(u)
+        want_degree = q.degree(u)
+        rows: list[np.ndarray] = []
+        pieces: list[np.ndarray] = []
+        for v_p in cand[u_p]:
+            nbrs = data.neighbors(int(v_p))
+            mask = (labels[nbrs] == want_label) & (degrees[nbrs] >= want_degree)
+            row = nbrs[mask].astype(np.int64, copy=True)
+            rows.append(row)
+            if len(row):
+                pieces.append(row)
+        cand[u] = (
+            np.unique(np.concatenate(pieces))
+            if pieces
+            else np.empty(0, dtype=np.int64)
+        )
+        tree_rows[u] = rows
+
+
+# ----------------------------------------------------------------------
+# Phase 2: bottom-up refinement
+# ----------------------------------------------------------------------
+
+
+def _bottom_up(
+    tree: SpanningTree,
+    cand: list[np.ndarray],
+    tree_rows: dict[int, list[np.ndarray]],
+) -> None:
+    for u in reversed(tree.bfs_order):
+        n_u = len(cand[u])
+        valid = np.ones(n_u, dtype=bool)
+        for u_c in tree.children[u]:
+            rows = tree_rows[u_c]
+            for i in range(n_u):
+                row = rows[i]
+                if len(row):
+                    rows[i] = row[np.isin(row, cand[u_c], assume_unique=True)]
+                if len(rows[i]) == 0:
+                    valid[i] = False
+        if valid.all():
+            continue
+        cand[u] = cand[u][valid]
+        for u_c in tree.children[u]:
+            tree_rows[u_c] = [
+                row for row, ok in zip(tree_rows[u_c], valid) if ok
+            ]
+
+
+# ----------------------------------------------------------------------
+# Optional orphan sweep
+# ----------------------------------------------------------------------
+
+
+def _prune_orphans(
+    tree: SpanningTree,
+    cand: list[np.ndarray],
+    tree_rows: dict[int, list[np.ndarray]],
+) -> None:
+    """Remove candidates no longer adjacent to any parent candidate.
+
+    Bottom-up refinement deletes parent candidates after their
+    children were finalised, which can strand child candidates with no
+    incoming tree edge; a single top-down sweep removes them. A
+    stranded candidate can never appear in an embedding (its parent
+    mapping would be missing), so this only shrinks the structure.
+    """
+    for u in tree.bfs_order[1:]:
+        rows = tree_rows[u]
+        nonempty = [r for r in rows if len(r)]
+        reachable = (
+            np.unique(np.concatenate(nonempty))
+            if nonempty
+            else np.empty(0, dtype=np.int64)
+        )
+        mask = np.isin(cand[u], reachable, assume_unique=True)
+        if mask.all():
+            continue
+        cand[u] = cand[u][mask]
+        # Children's rows are aligned with positions of cand[u];
+        # dropping a candidate drops its row. Rows *of* u (stored in
+        # ``rows``) only ever contain reachable ids, so they are
+        # untouched.
+        for u_c in tree.children[u]:
+            tree_rows[u_c] = [
+                row for row, ok in zip(tree_rows[u_c], mask) if ok
+            ]
+
+
+# ----------------------------------------------------------------------
+# Phase 3: non-tree candidate edges
+# ----------------------------------------------------------------------
+
+
+def _non_tree_edges(
+    q: QueryGraph,
+    data: Graph,
+    tree: SpanningTree,
+    cand: list[np.ndarray],
+) -> dict[tuple[int, int], list[np.ndarray]]:
+    """Candidate edges for non-tree query edges (lines 15-19).
+
+    For each non-tree edge ``(u, u_n)`` and each ``v in C(u)``, the row
+    is ``N_G(v)`` intersected with ``C(u_n)`` - both sorted, so the
+    intersection is linear.
+    """
+    out: dict[tuple[int, int], list[np.ndarray]] = {}
+    for u, u_n in tree.non_tree_edges:
+        rows = [
+            np.intersect1d(
+                data.neighbors(int(v)), cand[u_n], assume_unique=True
+            )
+            for v in cand[u]
+        ]
+        out[(u, u_n)] = rows
+    return out
+
+
+# ----------------------------------------------------------------------
+# Freeze into the position-indexed CSR representation
+# ----------------------------------------------------------------------
+
+
+def _positions(cand: np.ndarray, ids: np.ndarray) -> np.ndarray:
+    """Map sorted data ids to their positions in ``cand``."""
+    if len(ids) == 0:
+        return ids
+    return np.searchsorted(cand, ids)
+
+
+def _freeze(
+    q: QueryGraph,
+    tree: SpanningTree,
+    cand: list[np.ndarray],
+    tree_rows: dict[int, list[np.ndarray]],
+    ntree_rows: dict[tuple[int, int], list[np.ndarray]],
+    tree_only: bool = False,
+) -> CST:
+    adjacency: dict[tuple[int, int], CandidateAdjacency] = {}
+    for u in tree.bfs_order[1:]:
+        u_p = tree.parent[u]
+        fwd = CandidateAdjacency.from_rows(
+            [_positions(cand[u], row) for row in tree_rows[u]]
+        )
+        adjacency[(u_p, u)] = fwd
+        adjacency[(u, u_p)] = fwd.transpose(len(cand[u]))
+    for (u, u_n), rows in ntree_rows.items():
+        fwd = CandidateAdjacency.from_rows(
+            [_positions(cand[u_n], row) for row in rows]
+        )
+        adjacency[(u, u_n)] = fwd
+        adjacency[(u_n, u)] = fwd.transpose(len(cand[u_n]))
+    return CST(
+        query=q,
+        tree=tree,
+        candidates=cand,
+        adjacency=adjacency,
+        tree_only=tree_only,
+    )

@@ -1,0 +1,346 @@
+"""CST partitioning (Algorithm 2 of the paper).
+
+A CST must fit the FPGA's on-chip constraints before it can be matched
+BRAM-only: its modeled size must not exceed ``delta_S`` (the BRAM
+budget) and no adjacency row may exceed ``delta_D`` (the array-
+partition port limit of the Edge Validator, Section VI-A). When either
+is violated, the candidate set of the current matching-order vertex is
+split into ``k`` even parts (``k = max(|CST|/delta_S, D_CST/delta_D)``
+under the paper's greedy policy) and each part induces a sub-CST:
+
+* vertices *preceding* the split vertex in the matching order keep
+  their candidate sets (Algorithm 2, lines 7-8);
+* vertices *following* it keep only candidates that can reach a kept
+  candidate (lines 9-12) - implemented by filtering, in matching
+  order, against the kept sets of all earlier query neighbours, which
+  is sound for arbitrary connected orders;
+* adjacency lists are rebuilt on the surviving candidates (line 13).
+
+Sub-CSTs that still violate a constraint recurse (on the same vertex
+while it has more than one candidate, else on the next order vertex).
+The resulting partitions have pairwise-disjoint search spaces whose
+union is the original search space (the paper's Example 3 property),
+which the test suite verifies.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import PartitionError
+from repro.cst.structure import CST, CandidateAdjacency
+
+#: Hard cap on emitted partitions - a guard against thresholds so small
+#: that partitioning degenerates into per-candidate enumeration.
+DEFAULT_MAX_PARTITIONS = 200_000
+
+
+@dataclass(frozen=True)
+class PartitionLimits:
+    """The two thresholds of Section V-B.
+
+    ``max_bytes`` is ``delta_S`` (modeled BRAM bytes available for the
+    CST); ``max_degree`` is ``delta_D`` (the maximum adjacency-row
+    length the Edge Validator's port budget supports).
+    """
+
+    max_bytes: int
+    max_degree: int
+
+    def satisfied_by(self, cst: CST) -> bool:
+        """Whether ``cst`` fits both thresholds."""
+        return (
+            cst.size_bytes() <= self.max_bytes
+            and cst.max_candidate_degree() <= self.max_degree
+        )
+
+
+@dataclass
+class PartitionStats:
+    """Bookkeeping accumulated during partitioning."""
+
+    num_partitions: int = 0
+    num_empty_skipped: int = 0
+    num_splits: int = 0
+    max_recursion_depth: int = 0
+    total_bytes: int = 0
+    split_factors: list[int] = field(default_factory=list)
+
+
+def partition_cst(
+    cst: CST,
+    order: tuple[int, ...],
+    limits: PartitionLimits,
+    sink: Callable[[CST], None],
+    k_policy: int | str = "greedy",
+    max_partitions: int = DEFAULT_MAX_PARTITIONS,
+    intercept: Callable[[CST], bool] | None = None,
+    split_policy: str = "order",
+) -> PartitionStats:
+    """Partition ``cst`` until every piece fits ``limits``.
+
+    Each conforming piece is handed to ``sink`` immediately (mirroring
+    the paper's offload-as-soon-as-ready behaviour). ``k_policy`` is
+    ``"greedy"`` (the paper's adaptive factor) or a fixed integer
+    (the Fig. 8 sensitivity study). Returns the accumulated stats.
+
+    ``intercept``, when given, is consulted before any oversized CST is
+    split; returning True consumes the CST without splitting. This is
+    how FAST-SHARE hands whole oversized CSTs to the CPU, "reducing the
+    cost of partitioning" (Section VII-B).
+
+    ``split_policy`` selects the vertex whose candidate set is split:
+
+    * ``"order"`` - Algorithm 2 verbatim: the next matching-order
+      vertex, advancing only when its candidate set is a singleton;
+    * ``"degree"`` - an optimisation beyond the paper: when the port
+      cap delta_D is the violated constraint, split the *target*
+      candidate set of the longest adjacency row (which is what
+      actually shortens rows), otherwise the largest candidate set.
+      This collapses the hub-query partition explosions documented in
+      EXPERIMENTS.md while preserving the disjoint-and-complete
+      partition property (the restriction construction is independent
+      of which vertex is split).
+    """
+    if isinstance(k_policy, str):
+        if k_policy != "greedy":
+            raise PartitionError(f"unknown k policy {k_policy!r}")
+    elif k_policy < 2:
+        raise PartitionError("fixed partition factor must be >= 2")
+    if sorted(order) != list(range(cst.query.num_vertices)):
+        raise PartitionError("order must be a permutation of query vertices")
+    if split_policy not in ("order", "degree"):
+        raise PartitionError(f"unknown split policy {split_policy!r}")
+
+    stats = PartitionStats()
+    order_rank = {u: i for i, u in enumerate(order)}
+    _recurse(cst, order, order_rank, 0, limits, sink, k_policy, stats, 0,
+             max_partitions, intercept, split_policy)
+    return stats
+
+
+def partition_to_list(
+    cst: CST,
+    order: tuple[int, ...],
+    limits: PartitionLimits,
+    k_policy: int | str = "greedy",
+    max_partitions: int = DEFAULT_MAX_PARTITIONS,
+    split_policy: str = "order",
+) -> tuple[list[CST], PartitionStats]:
+    """Convenience wrapper collecting partitions into a list."""
+    parts: list[CST] = []
+    stats = partition_cst(
+        cst, order, limits, parts.append, k_policy, max_partitions,
+        split_policy=split_policy,
+    )
+    return parts, stats
+
+
+# ----------------------------------------------------------------------
+
+
+def _recurse(
+    cst: CST,
+    order: tuple[int, ...],
+    order_rank: dict[int, int],
+    index: int,
+    limits: PartitionLimits,
+    sink: Callable[[CST], None],
+    k_policy: int | str,
+    stats: PartitionStats,
+    depth: int,
+    max_partitions: int,
+    intercept: Callable[[CST], bool] | None = None,
+    split_policy: str = "order",
+) -> None:
+    stats.max_recursion_depth = max(stats.max_recursion_depth, depth)
+    if cst.is_empty():
+        stats.num_empty_skipped += 1
+        return
+    if limits.satisfied_by(cst):
+        stats.num_partitions += 1
+        stats.total_bytes += cst.size_bytes()
+        if stats.num_partitions > max_partitions:
+            raise PartitionError(
+                f"more than {max_partitions} partitions; thresholds "
+                f"{limits} are too small for this CST"
+            )
+        sink(cst)
+        return
+    if intercept is not None and intercept(cst):
+        return
+    if index >= len(order):
+        raise PartitionError(
+            "CST violates limits even with singleton candidate sets; "
+            f"limits {limits} cannot be met"
+        )
+
+    if split_policy == "degree":
+        u = _degree_split_vertex(cst, limits)
+        if u is None:
+            raise PartitionError(
+                "CST violates limits even with singleton candidate "
+                f"sets; limits {limits} cannot be met"
+            )
+        n_u = cst.candidate_count(u)
+    else:
+        u = order[index]
+        n_u = cst.candidate_count(u)
+        if n_u <= 1:
+            _recurse(cst, order, order_rank, index + 1, limits, sink,
+                     k_policy, stats, depth + 1, max_partitions,
+                     intercept, split_policy)
+            return
+
+    if k_policy == "greedy":
+        k = math.ceil(max(
+            cst.size_bytes() / limits.max_bytes,
+            cst.max_candidate_degree() / limits.max_degree,
+        ))
+    else:
+        k = int(k_policy)
+    k = max(2, min(k, n_u))
+    stats.num_splits += 1
+    stats.split_factors.append(k)
+
+    for part in np.array_split(np.arange(n_u, dtype=np.int64), k):
+        sub = _restrict(cst, order, order_rank, u, part)
+        _recurse(sub, order, order_rank, index, limits, sink,
+                 k_policy, stats, depth + 1, max_partitions, intercept,
+                 split_policy)
+
+
+def _degree_split_vertex(cst: CST, limits: PartitionLimits) -> int | None:
+    """Pick the split vertex for the ``degree`` policy.
+
+    If the port cap is violated, the longest adjacency row's *target*
+    vertex is split - halving C(b) (roughly) halves the rows pointing
+    into it, whereas Algorithm 2 may split unrelated vertices for many
+    rounds first. Otherwise (size violation) the largest candidate set
+    is split. Returns None when every candidate set is a singleton.
+    """
+    if cst.max_candidate_degree() > limits.max_degree:
+        best: tuple[int, int] | None = None
+        for (_a, b), adj in cst.adjacency.items():
+            row_len = adj.max_row_len()
+            if cst.candidate_count(b) > 1 and (
+                best is None or row_len > best[0]
+            ):
+                best = (row_len, b)
+        if best is not None:
+            return best[1]
+    candidates = [
+        u for u in range(cst.query.num_vertices)
+        if cst.candidate_count(u) > 1
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=cst.candidate_count)
+
+
+def _restrict(
+    cst: CST,
+    order: tuple[int, ...],
+    order_rank: dict[int, int],
+    u: int,
+    part_positions: np.ndarray,
+) -> CST:
+    """Sub-CST induced by keeping ``part_positions`` of ``C(u)``.
+
+    ``keep[x]`` is ``None`` (keep all) for vertices preceding ``u`` in
+    the order, the part for ``u`` itself, and a reachability-filtered
+    position array for following vertices.
+    """
+    q = cst.query
+    n = q.num_vertices
+    keep: list[np.ndarray | None] = [None] * n
+    keep[u] = part_positions
+
+    for u2 in order[order_rank[u] + 1:]:
+        base: np.ndarray | None = None
+        for nb in q.neighbors(u2):
+            if order_rank[nb] >= order_rank[u2] or keep[nb] is None:
+                continue
+            adj = cst.adjacency[(u2, nb)]
+            mask = _rows_intersecting(adj, keep[nb])
+            base = mask if base is None else (base & mask)
+        if base is not None:
+            keep[u2] = np.flatnonzero(base).astype(np.int64)
+
+    new_candidates = [
+        cst.candidates[x] if keep[x] is None else cst.candidates[x][keep[x]]
+        for x in range(n)
+    ]
+    new_adjacency = {
+        (a, b): _filter_adjacency(
+            adj,
+            keep[a],
+            keep[b],
+            len(cst.candidates[a]),
+            len(cst.candidates[b]),
+        )
+        for (a, b), adj in cst.adjacency.items()
+    }
+    return CST(
+        query=q,
+        tree=cst.tree,
+        candidates=new_candidates,
+        adjacency=new_adjacency,
+    )
+
+
+def _rows_intersecting(
+    adj: CandidateAdjacency, kept_targets: np.ndarray
+) -> np.ndarray:
+    """Boolean per source position: does its row hit ``kept_targets``?"""
+    if len(adj.targets) == 0:
+        return np.zeros(adj.num_rows, dtype=bool)
+    member = np.isin(adj.targets, kept_targets, assume_unique=False)
+    prefix = np.zeros(len(member) + 1, dtype=np.int64)
+    np.cumsum(member, out=prefix[1:])
+    return (prefix[adj.indptr[1:]] - prefix[adj.indptr[:-1]]) > 0
+
+
+def _filter_adjacency(
+    adj: CandidateAdjacency,
+    keep_src: np.ndarray | None,
+    keep_dst: np.ndarray | None,
+    n_src_old: int,
+    n_dst_old: int,
+) -> CandidateAdjacency:
+    """Restrict an adjacency to kept source/target positions and remap
+    positions into the compacted candidate arrays."""
+    if keep_src is None and keep_dst is None:
+        return adj
+
+    row_index = np.repeat(
+        np.arange(adj.num_rows, dtype=np.int64), np.diff(adj.indptr)
+    )
+    entry_mask = np.ones(len(adj.targets), dtype=bool)
+    if keep_src is not None:
+        src_mask = np.zeros(n_src_old, dtype=bool)
+        src_mask[keep_src] = True
+        entry_mask &= src_mask[row_index]
+    if keep_dst is not None:
+        dst_mask = np.zeros(n_dst_old, dtype=bool)
+        dst_mask[keep_dst] = True
+        entry_mask &= dst_mask[adj.targets]
+
+    kept_rows = row_index[entry_mask]
+    kept_targets = adj.targets[entry_mask]
+    if keep_src is not None:
+        kept_rows = np.searchsorted(keep_src, kept_rows)
+        n_src_new = len(keep_src)
+    else:
+        n_src_new = n_src_old
+    if keep_dst is not None:
+        kept_targets = np.searchsorted(keep_dst, kept_targets)
+
+    counts = np.bincount(kept_rows, minlength=n_src_new).astype(np.int64)
+    indptr = np.zeros(n_src_new + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CandidateAdjacency(indptr, kept_targets)

@@ -1,0 +1,72 @@
+"""Full candidate refinement (the third refinement of DAF's CS).
+
+The paper deliberately *stops* CST refinement after the top-down and
+bottom-up passes, arguing the extra pruning of CS is not worth its
+construction cost on the host (Section V-A's Remark). This module
+implements that extra pruning - iterate to fixpoint removing every
+candidate that lacks support on *any* materialised query edge - both to
+build a faithful DAF baseline and as an ablation of the paper's
+trade-off.
+
+Refinement preserves soundness: a removed candidate has some query
+neighbour with no CST-adjacent candidate, so no embedding can use it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cst.partition import _filter_adjacency
+from repro.cst.structure import CST
+
+
+def refine_cst(cst: CST, max_passes: int = 10) -> tuple[CST, int]:
+    """Prune unsupported candidates to fixpoint.
+
+    Returns the refined CST and the number of passes executed. Each
+    pass scans every directed adjacency; a candidate survives only if
+    all its rows are non-empty. Stops early at fixpoint.
+    """
+    current = cst
+    for passes in range(1, max_passes + 1):
+        keep: list[np.ndarray | None] = [None] * current.query.num_vertices
+        changed = False
+        for u in range(current.query.num_vertices):
+            ok = np.ones(current.candidate_count(u), dtype=bool)
+            for w in current.query.neighbors(u):
+                if (u, w) not in current.adjacency:
+                    continue  # tree-only index: edge not materialised
+                adj = current.adjacency[(u, w)]
+                ok &= np.diff(adj.indptr) > 0
+            if not ok.all():
+                keep[u] = np.flatnonzero(ok).astype(np.int64)
+                changed = True
+        if not changed:
+            return current, passes - 1
+        current = _apply_keep(current, keep)
+    return current, max_passes
+
+
+def _apply_keep(cst: CST, keep: list[np.ndarray | None]) -> CST:
+    """Rebuild a CST restricted to the kept candidate positions."""
+    new_candidates = [
+        cst.candidates[u] if keep[u] is None else cst.candidates[u][keep[u]]
+        for u in range(cst.query.num_vertices)
+    ]
+    new_adjacency = {
+        (a, b): _filter_adjacency(
+            adj,
+            keep[a],
+            keep[b],
+            len(cst.candidates[a]),
+            len(cst.candidates[b]),
+        )
+        for (a, b), adj in cst.adjacency.items()
+    }
+    return CST(
+        query=cst.query,
+        tree=cst.tree,
+        candidates=new_candidates,
+        adjacency=new_adjacency,
+        tree_only=cst.tree_only,
+    )

@@ -1,0 +1,61 @@
+"""Aggregate statistics over CSTs and partition lists (Figs. 8-10)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cst.structure import CST
+from repro.cst.workload import estimate_workload
+
+
+@dataclass(frozen=True)
+class CSTSummary:
+    """Size/degree/workload snapshot of a single CST."""
+
+    size_bytes: int
+    max_degree: int
+    total_candidates: int
+    adjacency_entries: int
+    workload: float
+
+    @classmethod
+    def of(cls, cst: CST) -> "CSTSummary":
+        return cls(
+            size_bytes=cst.size_bytes(),
+            max_degree=cst.max_candidate_degree(),
+            total_candidates=cst.total_candidates(),
+            adjacency_entries=cst.total_adjacency_entries(),
+            workload=estimate_workload(cst),
+        )
+
+
+@dataclass(frozen=True)
+class PartitionSetSummary:
+    """The Fig. 9 quantities for a list of partitions of one query."""
+
+    num_partitions: int
+    total_bytes: int
+    total_workload: float
+    max_partition_bytes: int
+    max_partition_degree: int
+
+    @classmethod
+    def of(cls, partitions: list[CST]) -> "PartitionSetSummary":
+        if not partitions:
+            return cls(0, 0, 0.0, 0, 0)
+        sizes = [p.size_bytes() for p in partitions]
+        return cls(
+            num_partitions=len(partitions),
+            total_bytes=sum(sizes),
+            total_workload=sum(estimate_workload(p) for p in partitions),
+            max_partition_bytes=max(sizes),
+            max_partition_degree=max(
+                p.max_candidate_degree() for p in partitions
+            ),
+        )
+
+    def size_ratio(self, graph_bytes: int) -> float:
+        """``S_CST / S_G``: partition bytes relative to the data graph."""
+        if graph_bytes <= 0:
+            return 0.0
+        return self.total_bytes / graph_bytes

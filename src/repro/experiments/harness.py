@@ -1,0 +1,215 @@
+"""Experiment harness.
+
+Provides the shared machinery the per-figure drivers build on: a
+uniform algorithm registry (every system evaluated in Section VII), a
+grid runner over datasets x queries x algorithms, and a uniform row
+format feeding the text reports in EXPERIMENTS.md.
+
+All times are modeled seconds in one consistent domain (see DESIGN.md):
+FPGA variants from the cycle model at 300 MHz, CPU algorithms from
+operation counts at 2.1 GHz, GPU algorithms from the V100 roofline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.ceci import Ceci
+from repro.baselines.cfl import CflMatch
+from repro.baselines.daf import Daf
+from repro.baselines.gpsm import GpSM
+from repro.baselines.gsi import Gsi
+from repro.baselines.parallel import ParallelCeci, ParallelDaf
+from repro.common.errors import ExperimentError
+from repro.common.tables import render_table
+from repro.costs.cpu import CpuCostModel
+from repro.costs.resources import ResourceLimits
+from repro.fpga.config import FpgaConfig
+from repro.graph.graph import Graph
+from repro.host.runtime import FastRunner
+from repro.ldbc.datasets import load_dataset
+from repro.ldbc.generator import LdbcDataset
+from repro.ldbc.queries import BenchmarkQuery, all_queries, get_query
+
+#: Algorithm names accepted by :func:`make_runner`.
+ALGORITHMS = (
+    "FAST", "FAST-DRAM", "FAST-BASIC", "FAST-TASK", "FAST-SEP",
+    "CFL", "DAF", "CECI", "DAF-8", "CECI-8", "GpSM", "GSI",
+)
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Shared configuration of one experiment campaign."""
+
+    fpga: FpgaConfig = field(default_factory=FpgaConfig)
+    cpu_cost: CpuCostModel = field(default_factory=CpuCostModel)
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    delta: float = 0.1
+    seed: int = 7
+    use_cache: bool = True
+
+
+def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
+    """A partition-stressed device: small BRAM and few ports.
+
+    The paper's 35 MB card rarely forces partitioning on our ~1/1000
+    datasets; the partitioning and scheduling studies (Figs. 8, 13)
+    need a device whose limits actually bind. This shrinks BRAM and
+    the Edge Validator port budget while keeping every latency ratio.
+    """
+    base = base or HarnessConfig()
+    return HarnessConfig(
+        fpga=FpgaConfig(
+            bram_bytes=64 * 1024,
+            batch_size=128,
+            max_ports=32,
+        ),
+        cpu_cost=base.cpu_cost,
+        limits=base.limits,
+        delta=base.delta,
+        seed=base.seed,
+        use_cache=base.use_cache,
+    )
+
+
+@dataclass
+class RunRow:
+    """One (dataset, query, algorithm) measurement."""
+
+    dataset: str
+    query: str
+    algorithm: str
+    verdict: str
+    seconds: float
+    embeddings: int
+
+    def cells(self) -> list[object]:
+        time_cell = (
+            f"{self.seconds * 1e3:,.3f}" if self.verdict == "OK"
+            else self.verdict
+        )
+        return [self.dataset, self.query, self.algorithm, time_cell,
+                self.embeddings if self.verdict == "OK" else "-"]
+
+
+def make_runner(name: str, config: HarnessConfig):
+    """Instantiate the named algorithm; returns ``run(query, data)``
+    yielding a :class:`RunRow`-compatible triple."""
+    if name not in ALGORITHMS:
+        raise ExperimentError(
+            f"unknown algorithm {name!r}; known: {ALGORITHMS}"
+        )
+
+    if name.startswith("FAST"):
+        variant = {
+            "FAST": "share",
+            "FAST-DRAM": "dram",
+            "FAST-BASIC": "basic",
+            "FAST-TASK": "task",
+            "FAST-SEP": "sep",
+        }[name]
+        runner = FastRunner(
+            config=config.fpga, variant=variant, delta=config.delta,
+            cpu_cost_model=config.cpu_cost,
+        )
+
+        def run_fast(query: Graph, data: Graph) -> tuple[str, float, int]:
+            result = runner.run(query, data)
+            return "OK", result.total_seconds, result.embeddings
+
+        return run_fast
+
+    kwargs = {"cost_model": config.cpu_cost, "limits": config.limits}
+    if name == "CFL":
+        algo = CflMatch(**kwargs)
+    elif name == "DAF":
+        algo = Daf(**kwargs)
+    elif name == "CECI":
+        algo = Ceci(**kwargs)
+    elif name == "DAF-8":
+        algo = ParallelDaf(**kwargs)
+    elif name == "CECI-8":
+        algo = ParallelCeci(**kwargs)
+    elif name == "GpSM":
+        algo = GpSM(limits=config.limits)
+    else:
+        algo = Gsi(limits=config.limits)
+
+    def run_baseline(query: Graph, data: Graph) -> tuple[str, float, int]:
+        out = algo.run(query, data)
+        result = out[0] if isinstance(out, tuple) else out
+        return result.verdict, result.seconds, result.embeddings
+
+    return run_baseline
+
+
+def resolve_queries(
+    names: list[str] | None = None,
+) -> list[BenchmarkQuery]:
+    """Query objects for the given names (default: all nine)."""
+    if names is None:
+        return all_queries()
+    return [get_query(n) for n in names]
+
+
+def resolve_datasets(
+    names: list[str], config: HarnessConfig
+) -> list[LdbcDataset]:
+    """Load the named datasets with the campaign's seed/cache policy."""
+    return [
+        load_dataset(n, use_cache=config.use_cache, seed=config.seed)
+        for n in names
+    ]
+
+
+def run_grid(
+    algorithm_names: list[str],
+    dataset_names: list[str],
+    query_names: list[str] | None = None,
+    config: HarnessConfig | None = None,
+) -> list[RunRow]:
+    """Run every algorithm on every (dataset, query) pair."""
+    config = config or HarnessConfig()
+    queries = resolve_queries(query_names)
+    rows: list[RunRow] = []
+    for dataset in resolve_datasets(dataset_names, config):
+        for query in queries:
+            for name in algorithm_names:
+                runner = make_runner(name, config)
+                verdict, seconds, embeddings = runner(
+                    query.graph, dataset.graph
+                )
+                rows.append(RunRow(
+                    dataset=dataset.name,
+                    query=query.name,
+                    algorithm=name,
+                    verdict=verdict,
+                    seconds=seconds,
+                    embeddings=embeddings,
+                ))
+    return rows
+
+
+def render_rows(rows: list[RunRow], title: str) -> str:
+    """Text table of grid rows (milliseconds, as the paper reports)."""
+    return render_table(
+        ["dataset", "query", "algorithm", "time_ms", "embeddings"],
+        [r.cells() for r in rows],
+        title=title,
+    )
+
+
+def check_agreement(rows: list[RunRow]) -> None:
+    """All OK algorithms on one (dataset, query) must agree on counts."""
+    seen: dict[tuple[str, str], int] = {}
+    for row in rows:
+        if row.verdict != "OK":
+            continue
+        key = (row.dataset, row.query)
+        if key in seen and seen[key] != row.embeddings:
+            raise ExperimentError(
+                f"embedding count mismatch on {key}: "
+                f"{seen[key]} vs {row.embeddings} ({row.algorithm})"
+            )
+        seen.setdefault(key, row.embeddings)

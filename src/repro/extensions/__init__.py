@@ -1,0 +1,25 @@
+"""Extensions beyond the base problem: edge-labeled/directed matching."""
+
+from repro.extensions.edge_labels import (
+    DirectedGraph,
+    LabeledEdgeGraph,
+    Reduction,
+    brute_force_directed,
+    brute_force_edge_labeled,
+    match_directed,
+    match_edge_labeled,
+    reduce_directed,
+    reduce_edge_labeled,
+)
+
+__all__ = [
+    "DirectedGraph",
+    "LabeledEdgeGraph",
+    "Reduction",
+    "brute_force_directed",
+    "brute_force_edge_labeled",
+    "match_directed",
+    "match_edge_labeled",
+    "reduce_directed",
+    "reduce_edge_labeled",
+]

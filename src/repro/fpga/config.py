@@ -1,0 +1,131 @@
+"""Simulated FPGA device configuration.
+
+The paper targets a Xilinx Alveo U200 (300 MHz kernel clock, 35 MB
+BRAM, 64 GB on-card DRAM, PCIe gen3 x16). Our data graphs are ~1/1000
+of the paper's, so the default BRAM budget is scaled accordingly; all
+other timing parameters (latency ratios, pipeline depths) keep the
+paper's proportions, which is what the reproduced *ratios* depend on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import DeviceError
+from repro.cst.partition import PartitionLimits
+from repro.query.query_graph import QueryGraph
+
+#: Bytes per partial-result slot entry (one candidate position).
+SLOT_ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class FpgaConfig:
+    """Parameters of the simulated device and kernel.
+
+    Pipeline depths ``l1``..``l6`` are the average cycle counts of the
+    six procedures of Section VI-B: (1) read from the intermediate
+    buffer, (2) expand a partial result and emit its visited task,
+    (3) visited validation, (4) collection, (5) edge-task generation,
+    (6) edge validation.
+    """
+
+    clock_mhz: float = 300.0
+    #: Modeled on-chip BRAM available to the kernel (CST + buffers).
+    bram_bytes: int = 256 * 1024
+    #: BRAM/DRAM read latency in cycles (the paper's 1 vs 7-8).
+    bram_latency: int = 1
+    dram_latency: int = 8
+    #: Streaming DRAM->BRAM load bandwidth for the initial CST copy.
+    load_bytes_per_cycle: int = 16
+    #: Result flush bandwidth (BRAM->DRAM, streaming).
+    flush_bytes_per_cycle: int = 16
+    #: Maximum newly expanded partial results per round (N_o).
+    batch_size: int = 512
+    #: Array-partition port budget => max adjacency row length delta_D.
+    max_ports: int = 64
+    #: PCIe host->card effective bandwidth (gen3 x16 ~ 12 GB/s raw).
+    pcie_gbytes_per_sec: float = 8.0
+    #: Pipeline depths of the six procedures.
+    l1: int = 2
+    l2: int = 3
+    l3: int = 2
+    l4: int = 2
+    l5: int = 2
+    l6: int = 2
+    #: Modeled CST accesses per expanded partial / per edge task when
+    #: the CST lives in DRAM (FAST-DRAM): row header + target + id, and
+    #: one probe per edge check.
+    dram_reads_per_partial: int = 2
+    dram_reads_per_task: int = 1
+
+    def __post_init__(self) -> None:
+        if self.clock_mhz <= 0:
+            raise DeviceError("clock_mhz must be positive")
+        if self.batch_size < 1:
+            raise DeviceError("batch_size (N_o) must be >= 1")
+        if self.dram_latency < self.bram_latency:
+            raise DeviceError("DRAM cannot be faster than BRAM")
+        if self.max_ports < 1:
+            raise DeviceError("max_ports must be >= 1")
+        if min(self.l1, self.l2, self.l3, self.l4, self.l5, self.l6) < 1:
+            raise DeviceError("pipeline depths must be >= 1")
+
+    # ------------------------------------------------------------------
+
+    @property
+    def depth_front(self) -> int:
+        """``L_f = L1 + L2 + L3 + L4`` (Section VI-B)."""
+        return self.l1 + self.l2 + self.l3 + self.l4
+
+    @property
+    def depth_tasks(self) -> int:
+        """``L_t = L5 + L6``."""
+        return self.l5 + self.l6
+
+    def buffer_bytes(self, query: QueryGraph) -> int:
+        """BRAM reserved for the intermediate results buffer.
+
+        Section VI-B sizes it at ``(|V(q)| - 1) * N_o`` slots; each
+        slot stores up to ``|V(q)|`` candidate positions.
+        """
+        n = query.num_vertices
+        return (n - 1) * self.batch_size * n * SLOT_ENTRY_BYTES
+
+    def cst_budget_bytes(self, query: QueryGraph) -> int:
+        """BRAM left for a CST partition (``delta_S``)."""
+        budget = self.bram_bytes - self.buffer_bytes(query)
+        if budget <= 0:
+            raise DeviceError(
+                f"buffer for a {query.num_vertices}-vertex query needs "
+                f"{self.buffer_bytes(query)} B but the device has only "
+                f"{self.bram_bytes} B of BRAM; lower batch_size"
+            )
+        return budget
+
+    def partition_limits(self, query: QueryGraph) -> PartitionLimits:
+        """The CST partition thresholds this device imposes."""
+        return PartitionLimits(
+            max_bytes=self.cst_budget_bytes(query),
+            max_degree=self.max_ports,
+        )
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Kernel cycles -> wall seconds at the configured clock."""
+        return cycles / (self.clock_mhz * 1e6)
+
+    def load_cycles(self, num_bytes: int) -> int:
+        """Streaming DRAM->BRAM copy cost for the initial CST load."""
+        if num_bytes <= 0:
+            return 0
+        return self.dram_latency + -(-num_bytes // self.load_bytes_per_cycle)
+
+    def flush_cycles(self, num_bytes: int) -> int:
+        """Streaming BRAM->DRAM cost for flushing results."""
+        if num_bytes <= 0:
+            return 0
+        return self.dram_latency + -(-num_bytes // self.flush_bytes_per_cycle)
+
+    def pcie_seconds(self, num_bytes: int) -> float:
+        """Host->card transfer time over PCIe."""
+        return num_bytes / (self.pcie_gbytes_per_sec * 1e9)

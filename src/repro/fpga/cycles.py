@@ -1,0 +1,59 @@
+"""Analytical cycle model - Equations 1-4 of the paper.
+
+Given the workload shape of a search space - ``N`` total expanded
+partial results and ``M`` total edge-validation tasks - the paper
+derives closed forms for each design point. The engine's measured
+per-round cycles must stay within these envelopes (tested), and the
+optimisation studies (Figs. 11-12) reproduce the predicted 50 % / 33 %
+ceilings from them.
+"""
+
+from __future__ import annotations
+
+from repro.fpga.config import FpgaConfig
+
+
+def l_serial(cfg: FpgaConfig, n: int, m: int) -> float:
+    """Equation 1: no pipelining - every partial pays full latency."""
+    return n * cfg.depth_front + m * cfg.depth_tasks
+
+
+def l_basic(cfg: FpgaConfig, n: int, m: int) -> float:
+    """Equation 2: pipelined loops, serial modules.
+
+    ``(N * L_f + M * L_t) / N_o`` pipeline-fill amortisation plus the
+    II=1 streaming cost of four partial-result procedures and two
+    task procedures.
+    """
+    if n == 0:
+        return 0.0
+    fill = (n * cfg.depth_front + m * cfg.depth_tasks) / cfg.batch_size
+    return fill + 4.0 * n + 2.0 * m
+
+
+def l_task(cfg: FpgaConfig, n: int, m: int) -> float:
+    """Equation 3: task parallelism - modules overlap through FIFOs."""
+    if n == 0:
+        return 0.0
+    return 2.0 * n + max(n, m)
+
+
+def l_sep(cfg: FpgaConfig, n: int, m: int) -> float:
+    """Equation 4: separated task generators - full overlap."""
+    if n == 0:
+        return 0.0
+    return 1.0 * n + max(n, m)
+
+
+def predicted_speedup_task_over_basic(n: int, m: int) -> float:
+    """Asymptotic Eq2/Eq3 ratio (<= 2.0, the paper's '50 %' ceiling)."""
+    if n == 0:
+        return 1.0
+    return (4.0 * n + 2.0 * m) / (2.0 * n + max(n, m))
+
+
+def predicted_speedup_sep_over_task(n: int, m: int) -> float:
+    """Asymptotic Eq3/Eq4 ratio (<= 1.5, the paper's '33 %' ceiling)."""
+    if n == 0:
+        return 1.0
+    return (2.0 * n + max(n, m)) / (1.0 * n + max(n, m))

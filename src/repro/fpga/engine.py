@@ -1,0 +1,223 @@
+"""The FAST matching engine - Algorithm 4 with the paper's variants.
+
+The engine drives the four kernel modules round by round over one CST,
+using the deepest-first expansion policy of Section VI-B (which bounds
+every depth buffer at ``N_o`` entries). Matching is *functional* - the
+embeddings found are exact - while a per-variant timing model charges
+cycles for each round from the measured batch shape:
+
+``dram``
+    Fig. 5(a) with the CST resident in off-chip DRAM: serial modules,
+    and every CST access pays the BRAM/DRAM latency gap (FAST-DRAM).
+``basic``
+    Serial modules, CST in BRAM after a streamed initial load
+    (FAST-BASIC, Equation 2).
+``task``
+    Task parallelism: validators and synchronizer overlap the
+    generator through FIFOs (FAST-TASK, Equation 3).
+``sep``
+    Separated t_v/t_n generators: all modules overlap (FAST-SEP,
+    Equation 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import DeviceError
+from repro.cst.structure import CST
+from repro.fpga.config import FpgaConfig
+from repro.fpga.kernel import (
+    DepthBuffer,
+    MatchPlan,
+    build_plan,
+    edge_validate,
+    expand_root,
+    generate,
+    synchronize,
+    visited_validate,
+)
+from repro.fpga.pipeline import chained, overlapped, pipelined_cycles
+from repro.fpga.report import KernelReport
+
+#: Recognised engine variants, in the paper's optimisation order.
+VARIANTS = ("dram", "basic", "task", "sep")
+
+
+class FastEngine:
+    """Simulates FAST over CSTs for one device configuration."""
+
+    def __init__(self, config: FpgaConfig | None = None,
+                 variant: str = "sep") -> None:
+        if variant not in VARIANTS:
+            raise DeviceError(
+                f"unknown variant {variant!r}; choose from {VARIANTS}"
+            )
+        self.config = config or FpgaConfig()
+        self.variant = variant
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        cst: CST,
+        order: tuple[int, ...] | None = None,
+        collect_results: bool = False,
+        plan: MatchPlan | None = None,
+    ) -> KernelReport:
+        """Match one CST; returns the cycle-accounted report.
+
+        ``order`` defaults to the BFS order of the CST's spanning
+        tree. ``collect_results`` materialises embeddings (as tuples
+        indexed by query vertex) instead of only counting them.
+        """
+        cfg = self.config
+        if plan is None:
+            if order is None:
+                order = tuple(cst.tree.bfs_order)
+            plan = build_plan(cst.query, order)
+        report = KernelReport(variant=self.variant, clock_mhz=cfg.clock_mhz)
+        report.num_csts = 1
+        if collect_results:
+            report.results = []
+        if cst.is_empty():
+            return report
+
+        if self.variant != "dram":
+            report.load_cycles += cfg.load_cycles(cst.size_bytes())
+
+        n_steps = plan.num_steps
+        buffers = [
+            DepthBuffer(depth, cfg.batch_size) for depth in range(n_steps)
+        ]  # buffers[d] holds partials with d matched vertices (d >= 1)
+        root_cursor = 0
+        root_total = cst.candidate_count(plan.order[0])
+        rank_order = plan.order
+
+        while True:
+            # Deepest-first: find the deepest non-empty buffer.
+            step = -1
+            for d in range(n_steps - 1, 0, -1):
+                if not buffers[d].is_empty:
+                    step = d
+                    break
+            if step == -1:
+                if root_cursor >= root_total:
+                    break
+                batch, root_cursor = expand_root(
+                    cst, plan, root_cursor, cfg.batch_size
+                )
+            else:
+                batch = generate(cst, plan, buffers[step], step,
+                                 cfg.batch_size)
+
+            bv = visited_validate(batch)
+            bn = edge_validate(cst, plan, batch)
+            pos, ids = synchronize(batch, bv, bn)
+
+            depth = batch.step + 1
+            if depth == n_steps:
+                report.embeddings += len(pos)
+                if collect_results:
+                    report.results.extend(
+                        _to_query_indexed(ids, rank_order)
+                    )
+                report.flush_cycles += cfg.flush_cycles(
+                    len(pos) * depth * 4
+                )
+            elif len(pos):
+                buffers[depth].fill(pos, ids)
+
+            report.rounds += 1
+            report.total_partials += batch.n_new
+            report.total_edge_tasks += batch.n_tasks
+            report.total_pops += batch.n_consumed
+            report.compute_cycles += self._round_cycles(
+                batch.n_consumed, batch.n_new, batch.n_tasks,
+                plan.tasks_per_partial(batch.step),
+            )
+
+        report.buffer_peaks = {
+            d: buffers[d].peak for d in range(1, n_steps)
+        }
+        return report
+
+    def run_many(
+        self,
+        csts: list[CST],
+        order: tuple[int, ...] | None = None,
+        collect_results: bool = False,
+    ) -> KernelReport:
+        """Match a sequence of CST partitions; reports are merged.
+
+        Mirrors step 4 of the system overview: the kernel processes
+        partitions one after another as long as any remain.
+        """
+        cfg = self.config
+        total = KernelReport(variant=self.variant, clock_mhz=cfg.clock_mhz)
+        if collect_results:
+            total.results = []
+        plan = None
+        for cst in csts:
+            if plan is None:
+                o = order if order is not None else tuple(cst.tree.bfs_order)
+                plan = build_plan(cst.query, o)
+            total.merge(self.run(cst, collect_results=collect_results,
+                                 plan=plan))
+        return total
+
+    # ------------------------------------------------------------------
+    # Per-round timing
+    # ------------------------------------------------------------------
+
+    def _round_cycles(
+        self, n_pop: int, n_new: int, n_tasks: int, checks: int
+    ) -> int:
+        """Cycles of one round for the configured variant.
+
+        Stage composition follows Fig. 5: chained for serial designs,
+        overlapped for dataflow designs. The shapes asymptotically
+        match Equations 2-4 (tested in the cycle-model tests).
+        """
+        cfg = self.config
+        read = pipelined_cycles(n_pop, cfg.l1)
+        gen = pipelined_cycles(n_new, cfg.l2)
+        visited = pipelined_cycles(n_new, cfg.l3)
+        collect = pipelined_cycles(n_new, cfg.l4)
+        # T_n generation: the outer per-neighbour loop is not pipelined
+        # (Algorithm 5 line 10), each inner loop is.
+        tn_gen = sum(
+            pipelined_cycles(n_new, cfg.l5) for _ in range(checks)
+        )
+        tn_val = pipelined_cycles(n_tasks, cfg.l6)
+
+        if self.variant in ("dram", "basic"):
+            cycles = chained(read, gen, visited, collect, tn_gen, tn_val)
+            if self.variant == "dram":
+                gap = cfg.dram_latency - cfg.bram_latency
+                cycles += gap * (
+                    n_pop
+                    + cfg.dram_reads_per_partial * n_new
+                    + cfg.dram_reads_per_task * n_tasks
+                )
+            return cycles
+        if self.variant == "task":
+            # Phase A: generator loop 1 streams into the visited
+            # validator. Phase B: the same generator then emits t_n,
+            # overlapped with edge validation and collection.
+            phase_a = overlapped(chained(read, gen), visited)
+            phase_b = overlapped(tn_gen, tn_val, collect)
+            return chained(phase_a, phase_b)
+        # sep: duplicated generators let every module run concurrently.
+        return overlapped(
+            chained(read, gen), visited, tn_gen, tn_val, collect
+        )
+
+
+def _to_query_indexed(
+    ids: np.ndarray, order: tuple[int, ...]
+) -> list[tuple[int, ...]]:
+    """Reorder result rows from order-position to query-vertex index."""
+    inverse = np.argsort(np.asarray(order))
+    reordered = ids[:, inverse]
+    return [tuple(int(v) for v in row) for row in reordered]

@@ -1,0 +1,64 @@
+"""FIFO stream model.
+
+Task parallelism (Section VI-C) decouples kernel modules through
+on-chip FIFOs. Cycle cost is handled analytically by the engine's
+variant models; this class tracks *occupancy* so reports (and tests)
+can verify the streams stay within their configured depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.common.errors import DeviceError
+
+
+class Fifo:
+    """A bounded FIFO with peak-occupancy tracking."""
+
+    def __init__(self, name: str, depth: int) -> None:
+        if depth < 1:
+            raise DeviceError(f"FIFO {name!r} depth must be >= 1")
+        self.name = name
+        self.depth = depth
+        self._items: deque = deque()
+        self.peak = 0
+        self.total_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.depth
+
+    def push(self, item: object) -> None:
+        """Enqueue one item; raises if the FIFO would overflow.
+
+        A real kernel would stall the producer; in the analytical
+        timing model a stall shows up as a sizing bug, so we fail fast.
+        """
+        if self.is_full:
+            raise DeviceError(
+                f"FIFO {self.name!r} overflow (depth {self.depth}); "
+                "the producing module outran its consumer"
+            )
+        self._items.append(item)
+        self.total_pushed += 1
+        self.peak = max(self.peak, len(self._items))
+
+    def pop(self) -> object:
+        """Dequeue the oldest item."""
+        if not self._items:
+            raise DeviceError(f"FIFO {self.name!r} underflow")
+        return self._items.popleft()
+
+    def drain(self) -> list:
+        """Pop everything, oldest first."""
+        out = list(self._items)
+        self._items.clear()
+        return out

@@ -1,0 +1,50 @@
+"""Pipeline timing calculus.
+
+An HLS loop pipelined at initiation interval II completes ``n``
+iterations in ``depth + II * (n - 1) + 1`` cycles; a non-pipelined loop
+pays the full body latency per iteration. These two formulas, composed
+per the module dataflow of Fig. 5, are the whole timing model - the
+same approximation level as the paper's Equations 1-4.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import DeviceError
+
+
+def pipelined_cycles(n: int, depth: int, ii: int = 1) -> int:
+    """Cycles for a pipelined loop of ``n`` iterations.
+
+    ``depth`` is the body latency (pipeline fill), ``ii`` the
+    initiation interval. Zero iterations cost nothing.
+    """
+    if n < 0 or depth < 1 or ii < 1:
+        raise DeviceError(
+            f"invalid pipeline parameters n={n} depth={depth} ii={ii}"
+        )
+    if n == 0:
+        return 0
+    return depth + ii * (n - 1) + 1
+
+
+def serial_cycles(n: int, body: int) -> int:
+    """Cycles for a non-pipelined loop: full body latency each time."""
+    if n < 0 or body < 1:
+        raise DeviceError(f"invalid serial loop n={n} body={body}")
+    return n * body
+
+
+def overlapped(*stage_cycles: int) -> int:
+    """Duration of concurrently running dataflow stages.
+
+    With FIFOs between modules (task parallelism, Section VI-C) the
+    group finishes when its slowest member does.
+    """
+    if not stage_cycles:
+        return 0
+    return max(stage_cycles)
+
+
+def chained(*stage_cycles: int) -> int:
+    """Duration of strictly serial stages (the basic design, Fig. 5a)."""
+    return sum(stage_cycles)

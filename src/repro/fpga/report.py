@@ -1,0 +1,78 @@
+"""Kernel execution reports.
+
+Every simulated kernel run produces a :class:`KernelReport` carrying
+the cycle account, the workload shape (N, M), and result counts.
+Reports of multiple CST partitions merge additively; elapsed seconds
+derive from cycles at the configured clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelReport:
+    """Outcome of simulating FAST over one or more CSTs."""
+
+    variant: str
+    clock_mhz: float
+    compute_cycles: float = 0.0
+    load_cycles: float = 0.0
+    flush_cycles: float = 0.0
+    rounds: int = 0
+    total_partials: int = 0       # N: expanded partial results
+    total_edge_tasks: int = 0     # M: edge-validation tasks
+    total_pops: int = 0           # buffer entries consumed
+    embeddings: int = 0
+    num_csts: int = 0
+    buffer_peaks: dict[int, int] = field(default_factory=dict)
+    results: list[tuple[int, ...]] | None = None
+
+    @property
+    def total_cycles(self) -> float:
+        """Compute plus data-movement cycles."""
+        return self.compute_cycles + self.load_cycles + self.flush_cycles
+
+    @property
+    def seconds(self) -> float:
+        """Modeled kernel wall time."""
+        return self.total_cycles / (self.clock_mhz * 1e6)
+
+    def merge(self, other: "KernelReport") -> None:
+        """Accumulate another CST's report into this one (same variant)."""
+        if other.variant != self.variant:
+            raise ValueError(
+                f"cannot merge report of variant {other.variant!r} into "
+                f"{self.variant!r}"
+            )
+        self.compute_cycles += other.compute_cycles
+        self.load_cycles += other.load_cycles
+        self.flush_cycles += other.flush_cycles
+        self.rounds += other.rounds
+        self.total_partials += other.total_partials
+        self.total_edge_tasks += other.total_edge_tasks
+        self.total_pops += other.total_pops
+        self.embeddings += other.embeddings
+        self.num_csts += other.num_csts
+        for depth, peak in other.buffer_peaks.items():
+            self.buffer_peaks[depth] = max(
+                self.buffer_peaks.get(depth, 0), peak
+            )
+        if other.results is not None:
+            if self.results is None:
+                self.results = []
+            self.results.extend(other.results)
+
+    def summary(self) -> dict[str, object]:
+        """Flat dict for tabular reporting."""
+        return {
+            "variant": self.variant,
+            "cycles": self.total_cycles,
+            "seconds": self.seconds,
+            "rounds": self.rounds,
+            "N": self.total_partials,
+            "M": self.total_edge_tasks,
+            "embeddings": self.embeddings,
+            "csts": self.num_csts,
+        }

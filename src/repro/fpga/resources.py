@@ -1,0 +1,140 @@
+"""On-chip resource estimation.
+
+FPGA papers report post-synthesis utilisation (BRAM/LUT/FF/DSP); the
+paper's design choices - array partitioning for the validators, FIFOs
+for task parallelism, duplicated generators for FAST-SEP - all trade
+logic and memory for throughput. This module estimates, per design
+variant, how a configuration lands on an Alveo-U200-class device, so
+the capacity-planning story of ``examples/device_tuning.py`` extends
+to chip resources rather than just cycle counts.
+
+The estimates are first-order HLS rules of thumb (they are *not* a
+synthesis tool): a BRAM36 block holds 4 KiB; an N-port array partition
+replicates its storage across ports; a FIFO of depth d and width w
+costs d*w bits of (LUT)RAM plus control logic; each pipelined
+comparator lane costs a few tens of LUTs and FFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fpga.config import FpgaConfig
+from repro.query.query_graph import QueryGraph
+
+#: Capacity of one BRAM36 block in bytes (36 Kib ~ 4 KiB usable).
+BRAM36_BYTES = 4 * 1024
+
+#: Alveo U200 device totals (XCU200 data sheet).
+U200_BRAM36 = 4320
+U200_LUT = 1_182_000
+U200_FF = 2_364_000
+
+#: Per-lane costs of a pipelined compare/probe lane.
+LUT_PER_LANE = 40
+FF_PER_LANE = 64
+#: Control overhead per FIFO.
+LUT_PER_FIFO = 120
+FF_PER_FIFO = 150
+#: Fixed cost of one kernel module's FSM + datapath skeleton.
+LUT_PER_MODULE = 2_500
+FF_PER_MODULE = 3_000
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated utilisation of one kernel configuration."""
+
+    variant: str
+    bram_blocks: int
+    luts: int
+    ffs: int
+    fifos: int
+
+    def utilisation(self) -> dict[str, float]:
+        """Fractions of an Alveo U200."""
+        return {
+            "bram": self.bram_blocks / U200_BRAM36,
+            "lut": self.luts / U200_LUT,
+            "ff": self.ffs / U200_FF,
+        }
+
+    def fits_u200(self) -> bool:
+        return all(v <= 1.0 for v in self.utilisation().values())
+
+
+def estimate_resources(
+    config: FpgaConfig, query: QueryGraph, variant: str = "sep"
+) -> ResourceEstimate:
+    """Estimate on-chip resources for ``variant`` under ``config``.
+
+    Accounts for: CST storage (+ per-port replication of the Edge
+    Validator's array-partitioned adjacency), the intermediate results
+    buffer, the visited validator's per-slot compare lanes, and the
+    dataflow FIFOs of the task-parallel variants (doubled generators
+    for ``sep``).
+    """
+    n = query.num_vertices
+
+    # --- BRAM ---------------------------------------------------------
+    cst_bytes = config.cst_budget_bytes(query)
+    buffer_bytes = config.buffer_bytes(query)
+    # The Edge Validator's adjacency is array-partitioned: one storage
+    # replica per port so every probe is single-cycle.
+    validator_bytes = cst_bytes * max(1, config.max_ports // 16)
+    bram_bytes = cst_bytes + buffer_bytes + validator_bytes
+    bram_blocks = -(-bram_bytes // BRAM36_BYTES)
+
+    # --- logic --------------------------------------------------------
+    modules = {"dram": 4, "basic": 4, "task": 4, "sep": 5}[variant]
+    luts = modules * LUT_PER_MODULE
+    ffs = modules * FF_PER_MODULE
+    # Visited Validator: one compare lane per partial-result slot.
+    luts += (n - 1) * LUT_PER_LANE
+    ffs += (n - 1) * FF_PER_LANE
+    # Edge Validator: one probe lane per port.
+    luts += config.max_ports * LUT_PER_LANE
+    ffs += config.max_ports * FF_PER_LANE
+
+    # --- FIFOs --------------------------------------------------------
+    if variant in ("dram", "basic"):
+        fifos = 0
+    elif variant == "task":
+        # t_v stream, t_n stream, two validator-output streams.
+        fifos = 4
+    else:
+        # sep duplicates p_o into both generators: two more streams.
+        fifos = 6
+    luts += fifos * LUT_PER_FIFO
+    ffs += fifos * FF_PER_FIFO
+    # FIFO storage (depth N_o, width one slot) lands in LUTRAM.
+    luts += fifos * (config.batch_size * n * 4 * 8) // 64
+
+    return ResourceEstimate(
+        variant=variant,
+        bram_blocks=int(bram_blocks),
+        luts=int(luts),
+        ffs=int(ffs),
+        fifos=fifos,
+    )
+
+
+def resource_table(config: FpgaConfig, query: QueryGraph) -> str:
+    """Synthesis-report-style utilisation table for all variants."""
+    from repro.common.tables import render_table
+
+    rows = []
+    for variant in ("dram", "basic", "task", "sep"):
+        est = estimate_resources(config, query, variant)
+        util = est.utilisation()
+        rows.append([
+            variant, est.bram_blocks, f"{util['bram']:.1%}",
+            est.luts, f"{util['lut']:.1%}",
+            est.ffs, f"{util['ff']:.1%}", est.fifos,
+        ])
+    return render_table(
+        ["variant", "bram36", "bram%", "lut", "lut%", "ff", "ff%",
+         "fifos"],
+        rows,
+        title="estimated U200 utilisation",
+    )

@@ -1,0 +1,29 @@
+"""Graph substrate: CSR labelled graphs, builders, IO, generators."""
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import (
+    powerlaw_graph,
+    random_connected_query,
+    random_labeled_graph,
+    relabel_to_dense,
+    sample_edges,
+)
+from repro.graph.graph import Graph
+from repro.graph.io import load_npz, load_text, save_npz, save_text
+from repro.graph.validation import assert_same_vertex_labels, validate_graph
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "assert_same_vertex_labels",
+    "load_npz",
+    "load_text",
+    "powerlaw_graph",
+    "random_connected_query",
+    "random_labeled_graph",
+    "relabel_to_dense",
+    "sample_edges",
+    "save_npz",
+    "save_text",
+    "validate_graph",
+]

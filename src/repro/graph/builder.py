@@ -1,0 +1,84 @@
+"""Incremental graph construction.
+
+:class:`GraphBuilder` accepts vertices and edges in any order, tolerates
+duplicate edge insertions (they are merged), rejects self loops, and
+produces an immutable CSR :class:`~repro.graph.graph.Graph`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.graph.graph import Graph
+
+
+class GraphBuilder:
+    """Mutable accumulator for building a :class:`Graph`.
+
+    Example
+    -------
+    >>> b = GraphBuilder()
+    >>> a = b.add_vertex(label=0)
+    >>> c = b.add_vertex(label=1)
+    >>> b.add_edge(a, c)
+    >>> g = b.build()
+    >>> g.num_edges
+    1
+    """
+
+    def __init__(self) -> None:
+        self._labels: list[int] = []
+        self._edges: set[tuple[int, int]] = set()
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertices added so far."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Distinct edges added so far."""
+        return len(self._edges)
+
+    def add_vertex(self, label: int) -> int:
+        """Add one vertex and return its id."""
+        if label < 0:
+            raise GraphError(f"labels must be non-negative, got {label}")
+        self._labels.append(int(label))
+        return len(self._labels) - 1
+
+    def add_vertices(self, labels: list[int] | np.ndarray) -> range:
+        """Add a batch of vertices; returns the assigned id range."""
+        start = len(self._labels)
+        for label in labels:
+            self.add_vertex(int(label))
+        return range(start, len(self._labels))
+
+    def add_edge(self, u: int, v: int) -> bool:
+        """Add undirected edge ``(u, v)``; returns False if it existed."""
+        n = len(self._labels)
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(
+                f"edge ({u}, {v}) references a vertex outside 0..{n - 1}"
+            )
+        if u == v:
+            raise GraphError(f"self loop ({u}, {u}) is not allowed")
+        key = (u, v) if u < v else (v, u)
+        if key in self._edges:
+            return False
+        self._edges.add(key)
+        return True
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether the edge was already added."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edges
+
+    def build(self) -> Graph:
+        """Freeze the accumulated vertices/edges into a CSR graph."""
+        edge_array = np.asarray(sorted(self._edges), dtype=np.int64).reshape(
+            -1, 2
+        )
+        labels = np.asarray(self._labels, dtype=np.int64)
+        return Graph._from_clean_edges(len(self._labels), edge_array, labels)

@@ -1,0 +1,157 @@
+"""Synthetic graph generators.
+
+These are the generic building blocks; the LDBC-SNB-like benchmark
+generator in :mod:`repro.ldbc.generator` composes them with a schema.
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.common.rng import make_rng
+from repro.graph.graph import Graph
+
+
+def random_labeled_graph(
+    num_vertices: int,
+    num_edges: int,
+    num_labels: int,
+    seed: int | None = None,
+    connected: bool = False,
+) -> Graph:
+    """Uniform G(n, m) with uniformly random labels.
+
+    With ``connected=True`` a random spanning tree is laid down first and
+    the remaining edges are sampled uniformly, so the result is always
+    connected (requires ``num_edges >= num_vertices - 1``).
+    """
+    if num_vertices < 0 or num_edges < 0 or num_labels <= 0:
+        raise GraphError("generator parameters must be non-negative")
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise GraphError(
+            f"{num_edges} edges requested but a simple graph on "
+            f"{num_vertices} vertices has at most {max_edges}"
+        )
+    rng = make_rng(seed, "random_labeled_graph", num_vertices, num_edges)
+    labels = rng.integers(0, num_labels, size=num_vertices, dtype=np.int64)
+    edge_keys: set[tuple[int, int]] = set()
+
+    if connected:
+        if num_vertices > 0 and num_edges < num_vertices - 1:
+            raise GraphError(
+                "connected graph needs at least n - 1 edges"
+            )
+        order = rng.permutation(num_vertices)
+        for i in range(1, num_vertices):
+            u = int(order[i])
+            v = int(order[rng.integers(0, i)])
+            edge_keys.add((min(u, v), max(u, v)))
+
+    while len(edge_keys) < num_edges:
+        need = num_edges - len(edge_keys)
+        us = rng.integers(0, num_vertices, size=need * 2 + 8)
+        vs = rng.integers(0, num_vertices, size=need * 2 + 8)
+        for u, v in zip(us.tolist(), vs.tolist()):
+            if u == v:
+                continue
+            edge_keys.add((min(u, v), max(u, v)))
+            if len(edge_keys) >= num_edges:
+                break
+    return Graph.from_edges(num_vertices, sorted(edge_keys), labels)
+
+
+def powerlaw_graph(
+    num_vertices: int,
+    edges_per_vertex: int,
+    num_labels: int,
+    seed: int | None = None,
+) -> Graph:
+    """Preferential-attachment (Barabasi-Albert style) labelled graph.
+
+    Produces the heavy-tailed degree distribution of real social
+    networks, which the paper relies on when observing that CST
+    workloads "differ a lot due to the power-law feature".
+    """
+    if edges_per_vertex < 1:
+        raise GraphError("edges_per_vertex must be >= 1")
+    m0 = max(edges_per_vertex + 1, 2)
+    if num_vertices < m0:
+        raise GraphError(
+            f"need at least {m0} vertices for attachment degree "
+            f"{edges_per_vertex}"
+        )
+    rng = make_rng(seed, "powerlaw_graph", num_vertices, edges_per_vertex)
+    labels = rng.integers(0, num_labels, size=num_vertices, dtype=np.int64)
+
+    # Repeated-nodes list implements preferential attachment in O(1)
+    # per edge: a vertex appears once per incident edge endpoint.
+    repeated: list[int] = []
+    edge_keys: set[tuple[int, int]] = set()
+    for v in range(1, m0):
+        edge_keys.add((v - 1, v))
+        repeated.extend((v - 1, v))
+    for v in range(m0, num_vertices):
+        targets: set[int] = set()
+        while len(targets) < edges_per_vertex:
+            pick = int(repeated[rng.integers(0, len(repeated))])
+            if pick != v:
+                targets.add(pick)
+        for t in targets:
+            edge_keys.add((min(v, t), max(v, t)))
+            repeated.extend((v, t))
+    return Graph.from_edges(num_vertices, sorted(edge_keys), labels)
+
+
+def sample_edges(
+    graph: Graph,
+    fraction: float,
+    seed: int | None = None,
+) -> Graph:
+    """Keep all vertices and a uniform ``fraction`` of edges.
+
+    This is exactly the downsampling used in the paper's Fig. 17
+    scalability study ("keep all vertices and sample 20 %, 40 %, 60 %,
+    and 80 % edges of DG60 uniformly").
+    """
+    if not 0.0 <= fraction <= 1.0:
+        raise GraphError(f"fraction must be in [0, 1], got {fraction}")
+    all_edges = np.asarray(list(graph.edges()), dtype=np.int64).reshape(-1, 2)
+    m = len(all_edges)
+    keep = int(round(m * fraction))
+    rng = make_rng(seed, "sample_edges", graph.num_vertices, m, fraction)
+    chosen = rng.choice(m, size=keep, replace=False) if m else np.empty(0, int)
+    kept = all_edges[np.sort(chosen)] if keep else all_edges[:0]
+    return Graph._from_clean_edges(graph.num_vertices, kept, graph.labels.copy())
+
+
+def random_connected_query(
+    num_vertices: int,
+    num_edges: int,
+    num_labels: int,
+    seed: int | None = None,
+) -> Graph:
+    """Small random connected labelled graph, for use as a query.
+
+    Convenience wrapper over :func:`random_labeled_graph` with
+    ``connected=True``; raises if the edge budget cannot connect the
+    vertices.
+    """
+    return random_labeled_graph(
+        num_vertices, num_edges, num_labels, seed=seed, connected=True
+    )
+
+
+def relabel_to_dense(graph: Graph) -> tuple[Graph, dict[int, int]]:
+    """Compact the label alphabet to ``0..k-1``.
+
+    Returns the relabelled graph and the old-to-new label mapping.
+    """
+    uniques = sorted(graph.label_set())
+    mapping = {old: new for new, old in enumerate(uniques)}
+    new_labels = np.asarray(
+        [mapping[int(lab)] for lab in graph.labels], dtype=np.int64
+    )
+    return Graph(graph.indptr, graph.indices, new_labels), mapping

@@ -1,0 +1,293 @@
+"""Compressed-sparse-row labelled graph.
+
+This is the data-graph substrate everything else in the reproduction is
+built on: undirected, vertex-labelled, connected-or-not, *simple* graphs
+(no self loops, no parallel edges), exactly the graph class of Section II
+of the paper. Storage is CSR over ``numpy`` arrays so that the LDBC-scale
+datasets (about 1.25 M edges at our largest scale factor) stay compact
+and neighbour scans are cache-friendly.
+
+Vertices are dense integers ``0..n-1``. Labels are small integers; the
+mapping to human-readable label names (e.g. the LDBC schema) is kept by
+the layer that generated the graph.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.common.errors import GraphError
+
+
+class Graph:
+    """An immutable undirected vertex-labelled simple graph in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``int64`` array of length ``n + 1``; neighbours of vertex ``v``
+        live in ``indices[indptr[v]:indptr[v + 1]]``.
+    indices:
+        ``int64`` array of length ``2 * m`` with each undirected edge
+        stored in both directions; every adjacency slice is sorted
+        ascending (required by :meth:`has_edge`'s binary search).
+    labels:
+        ``int64`` array of length ``n`` with the label of each vertex.
+
+    Use :class:`repro.graph.builder.GraphBuilder` or
+    :func:`Graph.from_edges` rather than calling this constructor with
+    hand-built arrays; :mod:`repro.graph.validation` can verify the CSR
+    invariants when arrays come from an untrusted source.
+    """
+
+    __slots__ = ("indptr", "indices", "labels", "_neighbor_sets", "_label_index")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: np.ndarray,
+    ) -> None:
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.labels = np.asarray(labels, dtype=np.int64)
+        if self.indptr.ndim != 1 or self.indices.ndim != 1 or self.labels.ndim != 1:
+            raise GraphError("CSR arrays must be one-dimensional")
+        if len(self.indptr) != len(self.labels) + 1:
+            raise GraphError(
+                f"indptr length {len(self.indptr)} does not match "
+                f"{len(self.labels)} labelled vertices"
+            )
+        if len(self.indptr) == 0 or self.indptr[0] != 0:
+            raise GraphError("indptr must start with 0")
+        if self.indptr[-1] != len(self.indices):
+            raise GraphError("indptr must end at len(indices)")
+        self._neighbor_sets: list[set[int]] | None = None
+        self._label_index: dict[int, np.ndarray] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_vertices: int,
+        edges: Iterable[tuple[int, int]],
+        labels: Sequence[int] | np.ndarray,
+    ) -> "Graph":
+        """Build a graph from an undirected edge list.
+
+        Self loops and duplicate edges (in either orientation) are
+        rejected with :class:`GraphError`; use
+        :class:`~repro.graph.builder.GraphBuilder` if the input may
+        contain duplicates that should be silently merged.
+        """
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(labels) != num_vertices:
+            raise GraphError(
+                f"expected {num_vertices} labels, got {len(labels)}"
+            )
+        edge_array = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        if len(edge_array) > 0:
+            if edge_array.min() < 0 or edge_array.max() >= num_vertices:
+                raise GraphError("edge endpoint out of range")
+            if (edge_array[:, 0] == edge_array[:, 1]).any():
+                raise GraphError("self loops are not allowed in simple graphs")
+            canon = np.sort(edge_array, axis=1)
+            keyed = canon[:, 0] * np.int64(num_vertices) + canon[:, 1]
+            if len(np.unique(keyed)) != len(keyed):
+                raise GraphError("duplicate edges are not allowed")
+        return cls._from_clean_edges(num_vertices, edge_array, labels)
+
+    @classmethod
+    def _from_clean_edges(
+        cls,
+        num_vertices: int,
+        edge_array: np.ndarray,
+        labels: np.ndarray,
+    ) -> "Graph":
+        """CSR-ify an already validated, duplicate-free edge array."""
+        if len(edge_array) == 0:
+            indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+            return cls(indptr, np.empty(0, dtype=np.int64), labels)
+        src = np.concatenate([edge_array[:, 0], edge_array[:, 1]])
+        dst = np.concatenate([edge_array[:, 1], edge_array[:, 0]])
+        order = np.lexsort((dst, src))
+        src = src[order]
+        dst = dst[order]
+        counts = np.bincount(src, minlength=num_vertices)
+        indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return cls(indptr, dst, labels)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``|V(G)|``."""
+        return len(self.labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges ``|E(G)|``."""
+        return len(self.indices) // 2
+
+    def vertices(self) -> range:
+        """Iterate vertex ids ``0..n-1``."""
+        return range(self.num_vertices)
+
+    def label(self, v: int) -> int:
+        """Label of vertex ``v``."""
+        return int(self.labels[v])
+
+    def degree(self, v: int) -> int:
+        """Degree ``d_G(v)``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Sorted neighbour array of ``v`` (a zero-copy CSR view)."""
+        return self.indices[self.indptr[v]: self.indptr[v + 1]]
+
+    def neighbor_set(self, v: int) -> set[int]:
+        """Neighbours of ``v`` as a Python set (materialised lazily).
+
+        Backtracking baselines do many ``u in N(v)`` probes and set
+        intersections; a one-off conversion amortises across a query.
+        """
+        if self._neighbor_sets is None:
+            self._neighbor_sets = [set() for _ in range(self.num_vertices)]
+            for u in range(self.num_vertices):
+                self._neighbor_sets[u] = set(
+                    self.indices[self.indptr[u]: self.indptr[u + 1]].tolist()
+                )
+        return self._neighbor_sets[v]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` is an edge; binary search on the CSR slice."""
+        lo, hi = self.indptr[u], self.indptr[u + 1]
+        if hi - lo > self.indptr[v + 1] - self.indptr[v]:
+            # Probe from the lower-degree endpoint.
+            u, v = v, u
+            lo, hi = self.indptr[u], self.indptr[u + 1]
+        pos = int(np.searchsorted(self.indices[lo:hi], v))
+        return pos < hi - lo and int(self.indices[lo + pos]) == v
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Iterate each undirected edge once, as ``(u, v)`` with u < v."""
+        for u in range(self.num_vertices):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    # ------------------------------------------------------------------
+    # Label index and statistics
+    # ------------------------------------------------------------------
+
+    def vertices_with_label(self, label: int) -> np.ndarray:
+        """All vertex ids carrying ``label`` (sorted, cached)."""
+        if self._label_index is None:
+            uniques = np.unique(self.labels)
+            self._label_index = {
+                int(lab): np.flatnonzero(self.labels == lab).astype(np.int64)
+                for lab in uniques
+            }
+        return self._label_index.get(int(label), np.empty(0, dtype=np.int64))
+
+    def label_set(self) -> set[int]:
+        """Distinct labels present in the graph."""
+        return {int(lab) for lab in np.unique(self.labels)}
+
+    def num_labels(self) -> int:
+        """Number of distinct labels ``|Sigma|``."""
+        return len(np.unique(self.labels)) if self.num_vertices else 0
+
+    def average_degree(self) -> float:
+        """Average degree ``2|E| / |V|``."""
+        if self.num_vertices == 0:
+            return 0.0
+        return 2.0 * self.num_edges / self.num_vertices
+
+    def max_degree(self) -> int:
+        """Maximum degree ``D_G``."""
+        if self.num_vertices == 0:
+            return 0
+        return int(np.max(np.diff(self.indptr)))
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the CSR arrays (excluding lazy caches).
+
+        This is the ``S_G`` used when the paper reports the CST-to-graph
+        size ratio in Fig. 9.
+        """
+        return int(
+            self.indptr.nbytes + self.indices.nbytes + self.labels.nbytes
+        )
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (BFS from vertex 0)."""
+        n = self.num_vertices
+        if n <= 1:
+            return True
+        seen = np.zeros(n, dtype=bool)
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            v = stack.pop()
+            for w in self.neighbors(v):
+                w = int(w)
+                if not seen[w]:
+                    seen[w] = True
+                    count += 1
+                    stack.append(w)
+        return count == n
+
+    def induced_subgraph(self, keep: Sequence[int]) -> tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``keep``; returns ``(graph, old_ids)``.
+
+        ``old_ids[i]`` is the original id of new vertex ``i``.
+        """
+        keep_arr = np.unique(np.asarray(list(keep), dtype=np.int64))
+        if len(keep_arr) and (keep_arr[0] < 0 or keep_arr[-1] >= self.num_vertices):
+            raise GraphError("induced_subgraph: vertex id out of range")
+        remap = -np.ones(self.num_vertices, dtype=np.int64)
+        remap[keep_arr] = np.arange(len(keep_arr))
+        new_edges = []
+        for old_u in keep_arr:
+            for old_v in self.neighbors(int(old_u)):
+                old_v = int(old_v)
+                if old_u < old_v and remap[old_v] >= 0:
+                    new_edges.append((int(remap[old_u]), int(remap[old_v])))
+        sub = Graph.from_edges(
+            len(keep_arr), new_edges, self.labels[keep_arr]
+        )
+        return sub, keep_arr
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"Graph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"labels={self.num_labels()})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+            and np.array_equal(self.labels, other.labels)
+        )
+
+    def __hash__(self) -> int:  # Graphs are mutable-free; hash by shape only.
+        return hash((self.num_vertices, self.num_edges))

@@ -1,0 +1,96 @@
+"""Graph serialisation.
+
+Two formats are supported:
+
+* a human-readable text format (one ``v <id> <label>`` line per vertex,
+  one ``e <u> <v>`` line per edge) compatible with the layout commonly
+  used by subgraph-matching codebases, and
+* a compact ``.npz`` format storing the raw CSR arrays, used by the
+  LDBC dataset cache because it loads in milliseconds.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.graph import Graph
+from repro.graph.validation import validate_graph
+
+
+def save_text(graph: Graph, path: str | os.PathLike[str]) -> None:
+    """Write ``graph`` in the ``v``/``e`` line text format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as f:
+        f.write(f"t {graph.num_vertices} {graph.num_edges}\n")
+        for v in graph.vertices():
+            f.write(f"v {v} {graph.label(v)}\n")
+        for u, v in graph.edges():
+            f.write(f"e {u} {v}\n")
+
+
+def load_text(path: str | os.PathLike[str]) -> Graph:
+    """Load a graph written by :func:`save_text`.
+
+    The header line is optional; vertex lines may appear in any order
+    but ids must be dense ``0..n-1``.
+    """
+    path = Path(path)
+    labels: dict[int, int] = {}
+    edges: list[tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            kind = parts[0]
+            if kind == "t":
+                continue
+            if kind == "v":
+                if len(parts) != 3:
+                    raise GraphError(f"{path}:{lineno}: malformed vertex line")
+                labels[int(parts[1])] = int(parts[2])
+            elif kind == "e":
+                if len(parts) < 3:
+                    raise GraphError(f"{path}:{lineno}: malformed edge line")
+                edges.append((int(parts[1]), int(parts[2])))
+            else:
+                raise GraphError(
+                    f"{path}:{lineno}: unknown record type {kind!r}"
+                )
+    n = len(labels)
+    if sorted(labels) != list(range(n)):
+        raise GraphError(f"{path}: vertex ids are not dense 0..{n - 1}")
+    builder = GraphBuilder()
+    builder.add_vertices([labels[v] for v in range(n)])
+    for u, v in edges:
+        builder.add_edge(u, v)
+    return builder.build()
+
+
+def save_npz(graph: Graph, path: str | os.PathLike[str]) -> None:
+    """Write the CSR arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        indptr=graph.indptr,
+        indices=graph.indices,
+        labels=graph.labels,
+    )
+
+
+def load_npz(path: str | os.PathLike[str], check: bool = False) -> Graph:
+    """Load a graph written by :func:`save_npz`.
+
+    Set ``check=True`` to run full CSR validation on the loaded arrays
+    (recommended for files from outside this process).
+    """
+    with np.load(Path(path)) as data:
+        graph = Graph(data["indptr"], data["indices"], data["labels"])
+    if check:
+        validate_graph(graph)
+    return graph

@@ -1,0 +1,66 @@
+"""Structural invariant checks for CSR graphs.
+
+Used by tests and by IO when loading graphs from external files. The
+checks mirror the assumptions the rest of the library relies on:
+sorted adjacency slices, symmetry, simplicity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.graph.graph import Graph
+
+
+def validate_graph(graph: Graph) -> None:
+    """Raise :class:`GraphError` if any CSR invariant is violated.
+
+    Checks, in order: monotone ``indptr``; endpoint range; sorted and
+    duplicate-free adjacency slices; no self loops; symmetric adjacency
+    (every arc has its reverse).
+    """
+    n = graph.num_vertices
+    indptr, indices = graph.indptr, graph.indices
+
+    if (np.diff(indptr) < 0).any():
+        raise GraphError("indptr is not monotonically non-decreasing")
+    if len(indices) and (indices.min() < 0 or indices.max() >= n):
+        raise GraphError("adjacency index out of vertex range")
+
+    for v in range(n):
+        row = indices[indptr[v]: indptr[v + 1]]
+        if len(row) == 0:
+            continue
+        if (np.diff(row) <= 0).any():
+            raise GraphError(
+                f"adjacency of vertex {v} is not strictly sorted "
+                "(unsorted or duplicate neighbour)"
+            )
+        if (row == v).any():
+            raise GraphError(f"vertex {v} has a self loop")
+
+    if not _is_symmetric(graph):
+        raise GraphError("adjacency is not symmetric")
+
+
+def _is_symmetric(graph: Graph) -> bool:
+    """Whether every stored arc ``u -> v`` has the reverse arc."""
+    for u in range(graph.num_vertices):
+        for v in graph.neighbors(u):
+            v = int(v)
+            row = graph.neighbors(v)
+            pos = int(np.searchsorted(row, u))
+            if pos >= len(row) or int(row[pos]) != u:
+                return False
+    return True
+
+
+def assert_same_vertex_labels(a: Graph, b: Graph) -> None:
+    """Raise unless ``a`` and ``b`` have identical vertex label arrays."""
+    if a.num_vertices != b.num_vertices:
+        raise GraphError(
+            f"vertex count mismatch: {a.num_vertices} vs {b.num_vertices}"
+        )
+    if not np.array_equal(a.labels, b.labels):
+        raise GraphError("vertex labels differ")

@@ -1,0 +1,32 @@
+"""Host side: CPU matcher over CSTs, scheduler, PCIe model, runtime."""
+
+from repro.host.cpu_matcher import (
+    CpuMatchCounters,
+    count_cst_embeddings,
+    cst_embeddings,
+    iter_cst_embeddings,
+)
+from repro.host.multi_fpga import (
+    DeviceLoad,
+    MultiFpgaResult,
+    MultiFpgaRunner,
+)
+from repro.host.pcie import TRANSFER_LATENCY_S, PcieLink
+from repro.host.runtime import RUNNER_VARIANTS, FastRunner, FastRunResult
+from repro.host.scheduler import WorkloadScheduler
+
+__all__ = [
+    "CpuMatchCounters",
+    "DeviceLoad",
+    "FastRunResult",
+    "FastRunner",
+    "MultiFpgaResult",
+    "MultiFpgaRunner",
+    "PcieLink",
+    "RUNNER_VARIANTS",
+    "TRANSFER_LATENCY_S",
+    "WorkloadScheduler",
+    "count_cst_embeddings",
+    "cst_embeddings",
+    "iter_cst_embeddings",
+]

@@ -1,0 +1,141 @@
+"""Host-side (CPU) matching over a CST.
+
+When the scheduler keeps a share of the workload on the CPU
+(Section V-C), the host runs "the basic backtracking subgraph matching
+algorithm" over the CST. Because a CST is a complete search space
+(Theorem 1), the matcher never touches the data graph: extensions come
+from CST adjacency rows and constraint checks are CST edge probes.
+
+The same routine doubles as the executable statement of Theorem 1 in
+the test suite: its results must equal the reference brute-force
+matcher's for every sound CST.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.common.errors import QueryError
+from repro.cst.structure import CST
+from repro.query.ordering import validate_order
+
+
+@dataclass
+class CpuMatchCounters:
+    """Operation counts feeding the CPU cost model."""
+
+    recursive_calls: int = 0
+    extensions_generated: int = 0
+    edge_checks: int = 0
+    embeddings: int = 0
+
+    def merge(self, other: "CpuMatchCounters") -> None:
+        self.recursive_calls += other.recursive_calls
+        self.extensions_generated += other.extensions_generated
+        self.edge_checks += other.edge_checks
+        self.embeddings += other.embeddings
+
+
+def cst_embeddings(
+    cst: CST,
+    order: tuple[int, ...] | None = None,
+    limit: int | None = None,
+    counters: CpuMatchCounters | None = None,
+) -> list[tuple[int, ...]]:
+    """All embeddings found by traversing only the CST."""
+    out = []
+    for emb in iter_cst_embeddings(cst, order, counters):
+        out.append(emb)
+        if limit is not None and len(out) >= limit:
+            break
+    return out
+
+
+def count_cst_embeddings(
+    cst: CST,
+    order: tuple[int, ...] | None = None,
+    counters: CpuMatchCounters | None = None,
+) -> int:
+    """Number of embeddings in the CST."""
+    return sum(1 for _ in iter_cst_embeddings(cst, order, counters))
+
+
+def iter_cst_embeddings(
+    cst: CST,
+    order: tuple[int, ...] | None = None,
+    counters: CpuMatchCounters | None = None,
+) -> Iterator[tuple[int, ...]]:
+    """Lazily enumerate embeddings by backtracking over the CST.
+
+    ``order`` must be a connected matching order starting anywhere in
+    the query; defaults to the BFS order of the CST's spanning tree.
+    Yields tuples indexed by query vertex, holding data-vertex ids.
+    """
+    q = cst.query
+    if order is None:
+        order = tuple(cst.tree.bfs_order)
+    else:
+        validate_order(q, order)
+    if counters is None:
+        counters = CpuMatchCounters()
+    if cst.is_empty():
+        return
+
+    n = q.num_vertices
+    rank = {u: i for i, u in enumerate(order)}
+    # For each step: the anchor (earliest-matched query neighbour whose
+    # adjacency row supplies extensions) and the other matched
+    # neighbours that must be verified by edge probes.
+    anchors: list[int] = []
+    checks: list[list[int]] = []
+    for i, u in enumerate(order):
+        matched = [w for w in q.neighbors(u) if rank[w] < i]
+        if i == 0:
+            anchors.append(-1)
+            checks.append([])
+            continue
+        if not matched:
+            raise QueryError("order is not connected")  # pragma: no cover
+        anchor = min(matched, key=rank.__getitem__)
+        anchors.append(anchor)
+        checks.append([w for w in matched if w != anchor])
+
+    positions = [-1] * n  # query vertex -> candidate position
+    used: set[int] = set()  # data vertices in the partial embedding
+
+    def backtrack(step: int) -> Iterator[tuple[int, ...]]:
+        counters.recursive_calls += 1
+        if step == n:
+            counters.embeddings += 1
+            yield tuple(
+                cst.vertex_at(u, positions[u]) for u in range(n)
+            )
+            return
+        u = order[step]
+        if step == 0:
+            pool = range(cst.candidate_count(u))
+        else:
+            anchor = anchors[step]
+            pool = cst.neighbors_of(anchor, u, positions[anchor])
+        for pos in pool:
+            pos = int(pos)
+            counters.extensions_generated += 1
+            v = cst.vertex_at(u, pos)
+            if v in used:
+                continue
+            ok = True
+            for w in checks[step]:
+                counters.edge_checks += 1
+                if not cst.has_candidate_edge(u, pos, w, positions[w]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            positions[u] = pos
+            used.add(v)
+            yield from backtrack(step + 1)
+            used.discard(v)
+            positions[u] = -1
+
+    yield from backtrack(0)

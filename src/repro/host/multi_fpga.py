@@ -1,0 +1,165 @@
+"""Multi-FPGA extension (Section VII-E).
+
+The paper notes that because every CST partition is an independent,
+complete search space, FAST extends naturally to multiple FPGAs: "the
+CPU can assign the CST structure to the FPGA with the minimum total
+workload and collect final results after all the FPGAs complete their
+tasks". This module implements exactly that scheduler on top of the
+simulated device:
+
+* partitions stream out of Algorithm 2 as usual;
+* each is assigned to the device with the least accumulated estimated
+  workload (greedy min-load, the online analogue of LPT);
+* each device runs its own :class:`~repro.fpga.engine.FastEngine` and
+  PCIe link; end-to-end time is host preparation plus the slowest
+  device (the makespan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import DeviceError
+from repro.costs.cpu import CpuCostModel, OpCounters
+from repro.cst.builder import build_cst
+from repro.cst.partition import partition_cst
+from repro.cst.structure import CST, ENTRY_BYTES
+from repro.cst.workload import estimate_workload
+from repro.fpga.config import FpgaConfig
+from repro.fpga.engine import FastEngine
+from repro.fpga.kernel import build_plan
+from repro.fpga.report import KernelReport
+from repro.graph.graph import Graph
+from repro.host.pcie import PcieLink
+from repro.query.ordering import path_based_order
+from repro.query.query_graph import QueryGraph, as_query
+from repro.query.spanning_tree import build_bfs_tree, choose_root
+
+
+@dataclass
+class DeviceLoad:
+    """One FPGA's accumulated assignment."""
+
+    index: int
+    workload: float = 0.0
+    num_csts: int = 0
+    kernel: KernelReport | None = None
+    pcie_seconds: float = 0.0
+
+    @property
+    def seconds(self) -> float:
+        kernel = self.kernel.seconds if self.kernel else 0.0
+        return self.pcie_seconds + kernel
+
+
+@dataclass
+class MultiFpgaResult:
+    """Outcome of a multi-device run."""
+
+    embeddings: int
+    total_seconds: float
+    build_seconds: float
+    partition_seconds: float
+    makespan_seconds: float
+    devices: list[DeviceLoad]
+    num_partitions: int
+
+    @property
+    def load_imbalance(self) -> float:
+        """Max device time over mean device time (1.0 = perfect)."""
+        times = [d.seconds for d in self.devices if d.num_csts]
+        if not times:
+            return 1.0
+        mean = sum(times) / len(times)
+        return max(times) / mean if mean > 0 else 1.0
+
+    def speedup_over(self, single: "MultiFpgaResult") -> float:
+        """End-to-end speedup relative to another (e.g. 1-device) run."""
+        if self.total_seconds == 0:
+            return 1.0
+        return single.total_seconds / self.total_seconds
+
+
+@dataclass
+class MultiFpgaRunner:
+    """FAST across ``num_devices`` identical simulated FPGAs."""
+
+    num_devices: int = 2
+    config: FpgaConfig = field(default_factory=FpgaConfig)
+    variant: str = "sep"
+    k_policy: int | str = "greedy"
+    cpu_cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+
+    def __post_init__(self) -> None:
+        if self.num_devices < 1:
+            raise DeviceError("need at least one device")
+
+    def run(
+        self,
+        query: Graph | QueryGraph,
+        data: Graph,
+        order: tuple[int, ...] | None = None,
+    ) -> MultiFpgaResult:
+        """Match ``query`` using min-workload assignment of partitions."""
+        q = as_query(query)
+        tree = build_bfs_tree(q, choose_root(q, data))
+        cst = build_cst(q, data, tree=tree)
+        if order is None:
+            order = path_based_order(tree, data)
+        plan = build_plan(q, order)
+        build_seconds = self._host_seconds(
+            cst.total_candidates() + cst.total_adjacency_entries(), data
+        )
+
+        engines = [
+            FastEngine(self.config, self.variant)
+            for _ in range(self.num_devices)
+        ]
+        links = [PcieLink(self.config) for _ in range(self.num_devices)]
+        devices = [DeviceLoad(index=i) for i in range(self.num_devices)]
+
+        def sink(part: CST) -> None:
+            # Section VII-E: the device with minimum total workload.
+            target = min(devices, key=lambda d: (d.workload, d.index))
+            target.workload += estimate_workload(part)
+            target.num_csts += 1
+            target.pcie_seconds += links[target.index].send_to_card(
+                part.size_bytes()
+            )
+            report = engines[target.index].run(part, plan=plan)
+            if target.kernel is None:
+                target.kernel = report
+            else:
+                target.kernel.merge(report)
+
+        limits = self.config.partition_limits(q)
+        stats = partition_cst(cst, order, limits, sink,
+                              k_policy=self.k_policy)
+        partition_seconds = self._host_seconds(
+            stats.total_bytes // ENTRY_BYTES, data
+        )
+
+        embeddings = sum(
+            d.kernel.embeddings for d in devices if d.kernel is not None
+        )
+        for d in devices:
+            if d.kernel is not None:
+                d.pcie_seconds += links[d.index].fetch_from_card(
+                    d.kernel.embeddings * q.num_vertices * ENTRY_BYTES
+                )
+        makespan = max((d.seconds for d in devices), default=0.0)
+        return MultiFpgaResult(
+            embeddings=embeddings,
+            total_seconds=build_seconds + partition_seconds + makespan,
+            build_seconds=build_seconds,
+            partition_seconds=partition_seconds,
+            makespan_seconds=makespan,
+            devices=devices,
+            num_partitions=stats.num_partitions,
+        )
+
+    def _host_seconds(self, ops: int, data: Graph) -> float:
+        counters = OpCounters(index_build_ops=ops)
+        return self.cpu_cost_model.seconds(
+            counters, data.average_degree(), data.num_vertices
+        )

@@ -1,0 +1,52 @@
+"""PCIe transfer accounting.
+
+Step 3 of the system overview moves each partitioned CST from host
+memory to the card's DRAM over PCIe; step 6 fetches the results back.
+Transfers are modeled at the configured effective bandwidth plus a
+fixed per-transfer setup latency (DMA descriptor + doorbell).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.config import FpgaConfig
+
+#: Per-DMA-transfer fixed overhead (descriptor setup, doorbell, IRQ).
+#: Small because consecutive CST transfers are queued back-to-back on
+#: the DMA engine rather than round-tripping through the driver.
+TRANSFER_LATENCY_S = 1e-6
+
+
+@dataclass
+class PcieLink:
+    """Accumulates host<->card transfer cost for one run."""
+
+    config: FpgaConfig
+    transfers: int = 0
+    bytes_to_card: int = 0
+    bytes_from_card: int = 0
+    log: list[tuple[str, int]] = field(default_factory=list)
+
+    def send_to_card(self, num_bytes: int, what: str = "cst") -> float:
+        """Model one host->card transfer; returns its seconds."""
+        self.transfers += 1
+        self.bytes_to_card += num_bytes
+        self.log.append((f"to_card:{what}", num_bytes))
+        return TRANSFER_LATENCY_S + self.config.pcie_seconds(num_bytes)
+
+    def fetch_from_card(self, num_bytes: int, what: str = "results") -> float:
+        """Model one card->host transfer; returns its seconds."""
+        self.transfers += 1
+        self.bytes_from_card += num_bytes
+        self.log.append((f"from_card:{what}", num_bytes))
+        return TRANSFER_LATENCY_S + self.config.pcie_seconds(num_bytes)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total modeled transfer time of this link so far."""
+        payload = self.bytes_to_card + self.bytes_from_card
+        return (
+            self.transfers * TRANSFER_LATENCY_S
+            + self.config.pcie_seconds(payload)
+        )

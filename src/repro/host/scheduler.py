@@ -1,0 +1,69 @@
+"""Host-side workload scheduler (Algorithm 3).
+
+After a CST (or partition) is ready, the scheduler decides whether the
+CPU or the FPGA processes it. The rule is Algorithm 3's: assign to the
+CPU only while the CPU's cumulative share of the total estimated
+workload stays below the threshold ``delta``; everything else goes to
+the FPGA, which is offloaded immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import SchedulerError
+from repro.cst.structure import CST
+from repro.cst.workload import estimate_workload
+
+
+@dataclass
+class WorkloadScheduler:
+    """Tracks W_C / W_F and applies the delta threshold."""
+
+    delta: float = 0.1
+    w_cpu: float = 0.0
+    w_fpga: float = 0.0
+    cpu_csts: int = 0
+    fpga_csts: int = 0
+    decisions: list[tuple[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.delta < 1.0:
+            raise SchedulerError(
+                f"delta must be in [0, 1), got {self.delta}"
+            )
+
+    @property
+    def total_workload(self) -> float:
+        return self.w_cpu + self.w_fpga
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Achieved CPU share of the total estimated workload."""
+        total = self.total_workload
+        return self.w_cpu / total if total > 0 else 0.0
+
+    def would_accept_cpu(self, workload: float) -> bool:
+        """Algorithm 3 line 2: does this CST fit the CPU budget?"""
+        total = self.w_cpu + self.w_fpga + workload
+        if total <= 0:
+            return False
+        return (self.w_cpu + workload) / total < self.delta
+
+    def assign(self, cst: CST, workload: float | None = None) -> str:
+        """Route one CST; returns ``"cpu"`` or ``"fpga"``.
+
+        ``workload`` may be supplied when the caller already computed
+        the estimate (avoids a second DP pass).
+        """
+        if workload is None:
+            workload = estimate_workload(cst)
+        if self.delta > 0 and self.would_accept_cpu(workload):
+            self.w_cpu += workload
+            self.cpu_csts += 1
+            self.decisions.append(("cpu", workload))
+            return "cpu"
+        self.w_fpga += workload
+        self.fpga_csts += 1
+        self.decisions.append(("fpga", workload))
+        return "fpga"

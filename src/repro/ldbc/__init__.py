@@ -1,0 +1,47 @@
+"""LDBC-SNB-like benchmark substrate: schema, generator, datasets, queries."""
+
+from repro.ldbc.datasets import (
+    DATASET_SCALES,
+    MICRO_SCALES,
+    dataset_names,
+    default_cache_dir,
+    load_dataset,
+    load_scale,
+)
+from repro.ldbc.generator import LdbcDataset, LdbcGenerator, LdbcParams
+from repro.ldbc.queries import (
+    QUERY_NAMES,
+    BenchmarkQuery,
+    all_queries,
+    get_query,
+)
+from repro.ldbc.schema import (
+    EDGE_FAMILIES,
+    LABEL_NAMES,
+    NUM_LABELS,
+    EdgeFamily,
+    Label,
+    allowed_label_pairs,
+)
+
+__all__ = [
+    "DATASET_SCALES",
+    "EDGE_FAMILIES",
+    "LABEL_NAMES",
+    "MICRO_SCALES",
+    "NUM_LABELS",
+    "QUERY_NAMES",
+    "BenchmarkQuery",
+    "EdgeFamily",
+    "Label",
+    "LdbcDataset",
+    "LdbcGenerator",
+    "LdbcParams",
+    "all_queries",
+    "allowed_label_pairs",
+    "dataset_names",
+    "default_cache_dir",
+    "get_query",
+    "load_dataset",
+    "load_scale",
+]

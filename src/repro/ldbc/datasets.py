@@ -1,0 +1,128 @@
+"""Registry of the paper's benchmark datasets (DG01..DG60), with caching.
+
+The paper's Table III datasets are LDBC-SNB graphs at scale factors 1,
+3, 10 and 60. We generate structurally equivalent graphs at ~1/1000 the
+size (see DESIGN.md) and cache the CSR arrays on disk so repeated
+experiment runs pay generation cost once.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.common.errors import ExperimentError
+from repro.graph.graph import Graph
+from repro.ldbc.generator import LdbcDataset, LdbcGenerator
+from repro.ldbc.schema import Label
+
+#: The paper's dataset names mapped to LDBC scale factors.
+DATASET_SCALES: dict[str, float] = {
+    "DG01": 1.0,
+    "DG03": 3.0,
+    "DG10": 10.0,
+    "DG60": 60.0,
+}
+
+#: Reduced-scale variants used by fast test/benchmark runs. They keep
+#: the same schema and skew but take milliseconds to generate.
+MICRO_SCALES: dict[str, float] = {
+    "DG-MICRO": 0.1,
+    "DG-MINI": 0.3,
+    "DG-SMALL": 0.5,
+}
+
+_ALL_SCALES = {**DATASET_SCALES, **MICRO_SCALES}
+
+
+def default_cache_dir() -> Path:
+    """Directory used to cache generated datasets."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-fast"
+
+
+def dataset_names() -> list[str]:
+    """Names of the paper-scale datasets, smallest first."""
+    return sorted(DATASET_SCALES, key=DATASET_SCALES.__getitem__)
+
+
+def load_dataset(
+    name: str,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+    seed: int = 7,
+) -> LdbcDataset:
+    """Load (generating and caching if needed) a dataset by name.
+
+    ``name`` is one of :data:`DATASET_SCALES` or :data:`MICRO_SCALES`.
+    """
+    if name not in _ALL_SCALES:
+        raise ExperimentError(
+            f"unknown dataset {name!r}; known: {sorted(_ALL_SCALES)}"
+        )
+    scale = _ALL_SCALES[name]
+    generator = LdbcGenerator(seed=seed)
+    if not use_cache:
+        return generator.generate(scale, name)
+
+    cache_dir = cache_dir or default_cache_dir()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{name}-seed{seed}.npz"
+    if path.exists():
+        return _load_cached(name, scale, path)
+    dataset = generator.generate(scale, name)
+    _save_cached(dataset, path)
+    return dataset
+
+
+def load_scale(
+    scale_factor: float,
+    cache_dir: Path | None = None,
+    use_cache: bool = True,
+    seed: int = 7,
+) -> LdbcDataset:
+    """Load a dataset for an arbitrary scale factor (Fig. 16 sweeps)."""
+    for name, sf in _ALL_SCALES.items():
+        if sf == scale_factor:
+            return load_dataset(name, cache_dir, use_cache, seed)
+    generator = LdbcGenerator(seed=seed)
+    name = f"DG{scale_factor:g}"
+    if not use_cache:
+        return generator.generate(scale_factor, name)
+    cache_dir = cache_dir or default_cache_dir()
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    path = cache_dir / f"{name}-seed{seed}.npz"
+    if path.exists():
+        return _load_cached(name, scale_factor, path)
+    dataset = generator.generate(scale_factor, name)
+    _save_cached(dataset, path)
+    return dataset
+
+
+def _save_cached(dataset: LdbcDataset, path: Path) -> None:
+    bounds = np.asarray(
+        [[r.start, r.stop] for r in dataset.ranges.values()], dtype=np.int64
+    )
+    keys = np.asarray([int(k) for k in dataset.ranges], dtype=np.int64)
+    np.savez_compressed(
+        path,
+        indptr=dataset.graph.indptr,
+        indices=dataset.graph.indices,
+        labels=dataset.graph.labels,
+        range_keys=keys,
+        range_bounds=bounds,
+    )
+
+
+def _load_cached(name: str, scale: float, path: Path) -> LdbcDataset:
+    with np.load(path) as data:
+        graph = Graph(data["indptr"], data["indices"], data["labels"])
+        ranges = {
+            Label(int(k)): range(int(lo), int(hi))
+            for k, (lo, hi) in zip(data["range_keys"], data["range_bounds"])
+        }
+    return LdbcDataset(name=name, scale_factor=scale, graph=graph, ranges=ranges)

@@ -1,0 +1,446 @@
+"""Deterministic LDBC-SNB-like social-network generator.
+
+The paper evaluates on LDBC-SNB graphs DG01..DG60 (scale factors 1, 3,
+10, 60) with 3.18 M - 187 M vertices. Those datasets (and the Java
+datagen) are not available here, so this module generates a structurally
+faithful stand-in at roughly 1/1000 of the paper's size per scale
+factor: the same 11-label schema, the same relative entity mix, Zipf
+popularity for cities and tags, power-law ``knows`` degrees, and the
+friendship-correlated forum memberships / comment cascades that the
+paper's q2/q6/q7/q8-style queries rely on.
+
+Everything is seeded; ``generate(scale_factor=1)`` always returns the
+same graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import GraphError
+from repro.common.rng import make_rng
+from repro.graph.graph import Graph
+from repro.ldbc.schema import Label, NUM_LABELS
+
+
+@dataclass(frozen=True)
+class LdbcParams:
+    """Entity-mix knobs of the generator (defaults calibrated so that
+    scale factor 1 yields about 3.3 K vertices and 17 K edges, mirroring
+    the paper's DG01 at 1/1000 scale)."""
+
+    persons_per_sf: int = 180
+    forums_per_sf: int = 90
+    posts_per_sf: int = 950
+    comments_per_sf: int = 1800
+    tags_base: int = 90
+    tags_per_sf: int = 10
+    num_cities: int = 60
+    num_countries: int = 25
+    num_continents: int = 6
+    num_universities: int = 40
+    num_companies: int = 60
+    num_tagclasses: int = 15
+
+    avg_knows_degree: float = 18.0
+    avg_forum_members: float = 28.0
+    avg_post_tags: float = 2.2
+    avg_comment_tags: float = 0.8
+    avg_interests: float = 5.0
+    avg_likes_post: float = 6.0
+    avg_likes_comment: float = 4.0
+    study_at_fraction: float = 0.8
+    avg_work_at: float = 1.2
+    forum_tags: int = 2
+
+    #: Probability that a comment replies to a post (vs another comment).
+    reply_to_post_prob: float = 0.6
+    #: Probability that a comment's creator is a friend of the parent
+    #: message's creator (drives q7-style cascade embeddings).
+    friend_reply_prob: float = 0.6
+    #: Probability that a forum member is drawn from the moderator's
+    #: friends rather than uniformly (drives q2/q6/q8 embeddings).
+    friend_member_prob: float = 0.55
+
+    #: Zipf-like popularity exponents.
+    tag_zipf: float = 0.95
+    city_zipf: float = 0.8
+
+
+@dataclass
+class LdbcDataset:
+    """A generated dataset: the graph plus its entity-id layout."""
+
+    name: str
+    scale_factor: float
+    graph: Graph
+    ranges: dict[Label, range] = field(repr=False)
+
+    def vertices_of(self, label: Label) -> range:
+        """Vertex-id range of one entity type."""
+        return self.ranges[label]
+
+    def summary(self) -> dict[str, object]:
+        """Table III row for this dataset."""
+        g = self.graph
+        return {
+            "name": self.name,
+            "num_vertices": g.num_vertices,
+            "num_edges": g.num_edges,
+            "avg_degree": g.average_degree(),
+            "max_degree": g.max_degree(),
+            "num_labels": g.num_labels(),
+        }
+
+
+def _zipf_weights(n: int, exponent: float) -> np.ndarray:
+    """Normalised 1/rank^exponent weights."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-exponent)
+    return weights / weights.sum()
+
+
+class LdbcGenerator:
+    """Generates :class:`LdbcDataset` instances for a scale factor."""
+
+    def __init__(self, params: LdbcParams | None = None, seed: int = 7) -> None:
+        self.params = params or LdbcParams()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def generate(self, scale_factor: float, name: str | None = None) -> LdbcDataset:
+        """Generate the dataset for ``scale_factor`` (>= ~0.05)."""
+        if scale_factor <= 0:
+            raise GraphError("scale factor must be positive")
+        p = self.params
+        counts = {
+            Label.CONTINENT: p.num_continents,
+            Label.COUNTRY: p.num_countries,
+            Label.CITY: p.num_cities,
+            Label.TAGCLASS: p.num_tagclasses,
+            Label.TAG: p.tags_base + max(1, round(p.tags_per_sf * scale_factor)),
+            Label.UNIVERSITY: p.num_universities,
+            Label.COMPANY: p.num_companies,
+            Label.PERSON: max(4, round(p.persons_per_sf * scale_factor)),
+            Label.FORUM: max(2, round(p.forums_per_sf * scale_factor)),
+            Label.POST: max(4, round(p.posts_per_sf * scale_factor)),
+            Label.COMMENT: max(4, round(p.comments_per_sf * scale_factor)),
+        }
+        ranges: dict[Label, range] = {}
+        cursor = 0
+        layout = (
+            Label.CONTINENT, Label.COUNTRY, Label.CITY, Label.TAGCLASS,
+            Label.TAG, Label.UNIVERSITY, Label.COMPANY, Label.PERSON,
+            Label.FORUM, Label.POST, Label.COMMENT,
+        )
+        for label in layout:
+            ranges[label] = range(cursor, cursor + counts[label])
+            cursor += counts[label]
+        total_vertices = cursor
+
+        labels = np.empty(total_vertices, dtype=np.int64)
+        for label, rng_ids in ranges.items():
+            labels[rng_ids.start: rng_ids.stop] = int(label)
+
+        edges: list[np.ndarray] = []
+        friends = self._gen_knows(ranges, scale_factor, edges)
+        self._gen_places(ranges, edges)
+        self._gen_taxonomy(ranges, edges)
+        self._gen_affiliations(ranges, edges)
+        post_creator = self._gen_forums_and_posts(
+            ranges, friends, scale_factor, edges
+        )
+        self._gen_comments(ranges, friends, post_creator, scale_factor, edges)
+        self._gen_tags_and_likes(ranges, scale_factor, edges)
+
+        edge_array = np.concatenate(edges, axis=0)
+        edge_array = self._dedupe(edge_array, total_vertices)
+        graph = Graph._from_clean_edges(total_vertices, edge_array, labels)
+        if graph.num_labels() != NUM_LABELS:
+            raise GraphError("generated graph lost a label class")
+        return LdbcDataset(
+            name=name or f"DG{scale_factor:g}",
+            scale_factor=scale_factor,
+            graph=graph,
+            ranges=ranges,
+        )
+
+    # ------------------------------------------------------------------
+    # Edge families
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _dedupe(edge_array: np.ndarray, n: int) -> np.ndarray:
+        """Canonicalise and remove duplicate / self edges."""
+        canon = np.sort(edge_array, axis=1)
+        mask = canon[:, 0] != canon[:, 1]
+        canon = canon[mask]
+        keys = canon[:, 0] * np.int64(n) + canon[:, 1]
+        _, first = np.unique(keys, return_index=True)
+        return canon[np.sort(first)]
+
+    def _gen_knows(
+        self,
+        ranges: dict[Label, range],
+        sf: float,
+        edges: list[np.ndarray],
+    ) -> list[list[int]]:
+        """Preferential-attachment friendships; returns adjacency lists."""
+        persons = ranges[Label.PERSON]
+        n = len(persons)
+        rng = make_rng(self.seed, "knows", sf)
+        per_new = max(1, round(self.params.avg_knows_degree / 2))
+        friends: list[list[int]] = [[] for _ in range(n)]
+        repeated: list[int] = [0, 1]
+        pairs: list[tuple[int, int]] = [(0, 1)]
+        friends[0].append(1)
+        friends[1].append(0)
+        for v in range(2, n):
+            want = min(per_new, v)
+            targets: set[int] = set()
+            attempts = 0
+            while len(targets) < want and attempts < 20 * want:
+                pick = int(repeated[rng.integers(0, len(repeated))])
+                attempts += 1
+                if pick != v:
+                    targets.add(pick)
+            for t in targets:
+                pairs.append((v, t))
+                friends[v].append(t)
+                friends[t].append(v)
+                repeated.extend((v, t))
+        base = persons.start
+        arr = np.asarray(pairs, dtype=np.int64) + base
+        edges.append(arr)
+        return friends
+
+    def _gen_places(
+        self, ranges: dict[Label, range], edges: list[np.ndarray]
+    ) -> None:
+        """Person->city, city->country, country->continent."""
+        p = self.params
+        persons = ranges[Label.PERSON]
+        cities = ranges[Label.CITY]
+        countries = ranges[Label.COUNTRY]
+        continents = ranges[Label.CONTINENT]
+        rng = make_rng(self.seed, "places", len(persons))
+
+        city_w = _zipf_weights(len(cities), p.city_zipf)
+        person_city = rng.choice(len(cities), size=len(persons), p=city_w)
+        edges.append(np.column_stack([
+            np.arange(persons.start, persons.stop, dtype=np.int64),
+            person_city.astype(np.int64) + cities.start,
+        ]))
+        city_country = rng.integers(0, len(countries), size=len(cities))
+        edges.append(np.column_stack([
+            np.arange(cities.start, cities.stop, dtype=np.int64),
+            city_country.astype(np.int64) + countries.start,
+        ]))
+        country_continent = rng.integers(
+            0, len(continents), size=len(countries)
+        )
+        edges.append(np.column_stack([
+            np.arange(countries.start, countries.stop, dtype=np.int64),
+            country_continent.astype(np.int64) + continents.start,
+        ]))
+
+    def _gen_taxonomy(
+        self, ranges: dict[Label, range], edges: list[np.ndarray]
+    ) -> None:
+        """Tag->tagclass and the tag-class tree."""
+        tags = ranges[Label.TAG]
+        classes = ranges[Label.TAGCLASS]
+        rng = make_rng(self.seed, "taxonomy", len(tags))
+        tag_class = rng.integers(0, len(classes), size=len(tags))
+        edges.append(np.column_stack([
+            np.arange(tags.start, tags.stop, dtype=np.int64),
+            tag_class.astype(np.int64) + classes.start,
+        ]))
+        # Tag-class tree: class i>0 is a subclass of a random earlier one.
+        parents = [
+            (classes.start + i, classes.start + int(rng.integers(0, i)))
+            for i in range(1, len(classes))
+        ]
+        edges.append(np.asarray(parents, dtype=np.int64).reshape(-1, 2))
+
+    def _gen_affiliations(
+        self, ranges: dict[Label, range], edges: list[np.ndarray]
+    ) -> None:
+        """Person->university (studyAt) and person->company (workAt)."""
+        p = self.params
+        persons = ranges[Label.PERSON]
+        unis = ranges[Label.UNIVERSITY]
+        companies = ranges[Label.COMPANY]
+        rng = make_rng(self.seed, "affiliations", len(persons))
+
+        studies = rng.random(len(persons)) < p.study_at_fraction
+        study_targets = rng.integers(0, len(unis), size=len(persons))
+        src = np.arange(persons.start, persons.stop, dtype=np.int64)[studies]
+        edges.append(np.column_stack([
+            src, study_targets[studies].astype(np.int64) + unis.start
+        ]))
+
+        works = rng.poisson(p.avg_work_at, size=len(persons))
+        pairs = []
+        for i, k in enumerate(works.tolist()):
+            for c in rng.integers(0, len(companies), size=k).tolist():
+                pairs.append((persons.start + i, companies.start + c))
+        if pairs:
+            edges.append(np.asarray(pairs, dtype=np.int64))
+
+    def _gen_forums_and_posts(
+        self,
+        ranges: dict[Label, range],
+        friends: list[list[int]],
+        sf: float,
+        edges: list[np.ndarray],
+    ) -> np.ndarray:
+        """Forums (moderator + friend-correlated members + posts).
+
+        Returns ``post_creator`` (person offset per post) for use by the
+        comment cascade generator.
+        """
+        p = self.params
+        persons = ranges[Label.PERSON]
+        forums = ranges[Label.FORUM]
+        posts = ranges[Label.POST]
+        tags = ranges[Label.TAG]
+        rng = make_rng(self.seed, "forums", sf)
+        n_person = len(persons)
+
+        pairs: list[tuple[int, int]] = []
+        forum_members: list[np.ndarray] = []
+        for f in range(len(forums)):
+            fid = forums.start + f
+            moderator = int(rng.integers(0, n_person))
+            members = {moderator}
+            size = max(2, min(n_person, int(rng.poisson(p.avg_forum_members))))
+            frontier = friends[moderator]
+            while len(members) < size:
+                if frontier and rng.random() < p.friend_member_prob:
+                    seed_person = int(
+                        frontier[rng.integers(0, len(frontier))]
+                    )
+                    members.add(seed_person)
+                    # One-hop expansion keeps member sets clustered, so
+                    # member-knows-member triangles (q6/q8) are common.
+                    fr = friends[seed_person]
+                    if fr:
+                        members.add(int(fr[rng.integers(0, len(fr))]))
+                else:
+                    members.add(int(rng.integers(0, n_person)))
+            pairs.append((fid, persons.start + moderator))
+            member_arr = np.fromiter(
+                (persons.start + m for m in members), dtype=np.int64
+            )
+            forum_members.append(member_arr)
+            pairs.extend((fid, int(m)) for m in member_arr)
+            for t in rng.integers(0, len(tags), size=p.forum_tags).tolist():
+                pairs.append((fid, tags.start + t))
+        edges.append(np.asarray(pairs, dtype=np.int64))
+
+        # Posts: uniformly assigned to forums; creator is a member of
+        # the containing forum (as in SNB), which yields the
+        # forum/member/post cycles of q2-style queries.
+        n_post = len(posts)
+        post_forum = rng.integers(0, len(forums), size=n_post)
+        post_creator = np.empty(n_post, dtype=np.int64)
+        post_pairs = np.empty((2 * n_post, 2), dtype=np.int64)
+        for i in range(n_post):
+            f = int(post_forum[i])
+            members = forum_members[f]
+            creator = int(members[rng.integers(0, len(members))])
+            post_creator[i] = creator - persons.start
+            post_pairs[2 * i] = (posts.start + i, forums.start + f)
+            post_pairs[2 * i + 1] = (posts.start + i, creator)
+        edges.append(post_pairs)
+        return post_creator
+
+    def _gen_comments(
+        self,
+        ranges: dict[Label, range],
+        friends: list[list[int]],
+        post_creator: np.ndarray,
+        sf: float,
+        edges: list[np.ndarray],
+    ) -> None:
+        """Comment cascades with friend-correlated creators."""
+        p = self.params
+        persons = ranges[Label.PERSON]
+        posts = ranges[Label.POST]
+        comments = ranges[Label.COMMENT]
+        rng = make_rng(self.seed, "comments", sf)
+        n_comment = len(comments)
+        n_person = len(persons)
+
+        comment_creator = np.empty(n_comment, dtype=np.int64)
+        pairs = np.empty((2 * n_comment, 2), dtype=np.int64)
+        for i in range(n_comment):
+            cid = comments.start + i
+            reply_to_post = i == 0 or rng.random() < p.reply_to_post_prob
+            if reply_to_post:
+                parent_idx = int(rng.integers(0, len(posts)))
+                parent = posts.start + parent_idx
+                parent_author = int(post_creator[parent_idx])
+            else:
+                parent_idx = int(rng.integers(0, i))
+                parent = comments.start + parent_idx
+                parent_author = int(comment_creator[parent_idx])
+            fr = friends[parent_author]
+            if fr and rng.random() < p.friend_reply_prob:
+                creator = int(fr[rng.integers(0, len(fr))])
+            else:
+                creator = int(rng.integers(0, n_person))
+            comment_creator[i] = creator
+            pairs[2 * i] = (cid, parent)
+            pairs[2 * i + 1] = (cid, persons.start + creator)
+        edges.append(pairs)
+
+    def _gen_tags_and_likes(
+        self,
+        ranges: dict[Label, range],
+        sf: float,
+        edges: list[np.ndarray],
+    ) -> None:
+        """Zipf tag attachments and likes."""
+        p = self.params
+        persons = ranges[Label.PERSON]
+        posts = ranges[Label.POST]
+        comments = ranges[Label.COMMENT]
+        tags = ranges[Label.TAG]
+        rng = make_rng(self.seed, "tags_likes", sf)
+        tag_w = _zipf_weights(len(tags), p.tag_zipf)
+
+        def attach(src_range: range, avg: float, scope: str) -> None:
+            counts = rng.poisson(avg, size=len(src_range))
+            total = int(counts.sum())
+            chosen = rng.choice(len(tags), size=total, p=tag_w)
+            src = np.repeat(
+                np.arange(src_range.start, src_range.stop, dtype=np.int64),
+                counts,
+            )
+            edges.append(np.column_stack([
+                src, chosen.astype(np.int64) + tags.start
+            ]))
+
+        attach(posts, p.avg_post_tags, "post")
+        attach(comments, p.avg_comment_tags, "comment")
+        attach(persons, p.avg_interests, "interest")
+
+        def likes(dst_range: range, avg: float) -> None:
+            counts = rng.poisson(avg, size=len(persons))
+            total = int(counts.sum())
+            chosen = rng.integers(0, len(dst_range), size=total)
+            src = np.repeat(
+                np.arange(persons.start, persons.stop, dtype=np.int64),
+                counts,
+            )
+            edges.append(np.column_stack([
+                src, chosen.astype(np.int64) + dst_range.start
+            ]))
+
+        likes(posts, p.avg_likes_post)
+        likes(comments, p.avg_likes_comment)

@@ -1,0 +1,155 @@
+"""The benchmark query set q0..q8.
+
+The paper uses nine queries adapted from the LDBC-SNB complex tasks
+(its Fig. 6, which the text does not enumerate vertex-by-vertex): node
+types become vertex labels, multi-hop edges are removed. We define nine
+queries over the same schema that span the structural regimes the
+paper's discussion depends on:
+
+* tree-heavy vs cycle-heavy queries (the ratio N/M of expanded partial
+  results to edge-validation tasks governs Fig. 11/12 - q3 is the
+  sparse outlier with N/M ~ 2, q6/q8 are dense with several non-tree
+  edges);
+* person-centric social patterns (triangles, co-membership) and
+  message-cascade patterns (whose embedding counts explode with scale,
+  as the paper notes for its q7).
+
+Each query is a small connected labelled graph; vertex ids are local to
+the query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import QueryError
+from repro.graph.graph import Graph
+from repro.ldbc.schema import Label
+
+
+@dataclass(frozen=True)
+class BenchmarkQuery:
+    """One named benchmark query."""
+
+    name: str
+    graph: Graph
+    description: str
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+
+def _query(
+    name: str,
+    labels: list[Label],
+    edges: list[tuple[int, int]],
+    description: str,
+) -> BenchmarkQuery:
+    graph = Graph.from_edges(
+        len(labels), edges, [int(lab) for lab in labels]
+    )
+    if not graph.is_connected():
+        raise QueryError(f"benchmark query {name} must be connected")
+    return BenchmarkQuery(name=name, graph=graph, description=description)
+
+
+def _build_all() -> dict[str, BenchmarkQuery]:
+    P, C, CO = Label.PERSON, Label.CITY, Label.COUNTRY
+    F, PO, CM, T, TC = (
+        Label.FORUM, Label.POST, Label.COMMENT, Label.TAG, Label.TAGCLASS,
+    )
+    U = Label.UNIVERSITY
+
+    queries = [
+        _query(
+            "q0",
+            [P, P, P, C],
+            [(0, 1), (1, 2), (0, 2), (0, 3)],
+            "friendship triangle with one member's city "
+            "(one non-tree edge)",
+        ),
+        _query(
+            "q1",
+            [P, P, PO, T],
+            [(0, 1), (1, 2), (2, 3), (3, 0)],
+            "person interested in the tag of a friend's post "
+            "(4-cycle, one non-tree edge)",
+        ),
+        _query(
+            "q2",
+            [F, P, P, PO],
+            [(0, 1), (0, 2), (1, 2), (0, 3), (3, 1)],
+            "two friends in a forum, one authored a post in it "
+            "(two non-tree edges)",
+        ),
+        _query(
+            "q3",
+            [CM, PO, P, P, T],
+            [(0, 1), (1, 2), (0, 3), (2, 3), (1, 4)],
+            "comment on a friend's post, with the post's tag "
+            "(sparse: N/M is the highest of the set)",
+        ),
+        _query(
+            "q4",
+            [P, P, C, U],
+            [(0, 1), (0, 2), (1, 2), (0, 3)],
+            "two friends in the same city, one with a university "
+            "(one non-tree edge)",
+        ),
+        _query(
+            "q5",
+            [P, P, F, T, TC],
+            [(0, 1), (2, 0), (2, 1), (2, 3), (3, 4)],
+            "two friends sharing a forum whose tag has a tag class "
+            "(one non-tree edge)",
+        ),
+        _query(
+            "q6",
+            [P, P, P, F],
+            [(0, 1), (1, 2), (0, 2), (3, 0), (3, 1), (3, 2)],
+            "friendship triangle inside one forum "
+            "(dense: three non-tree edges)",
+        ),
+        _query(
+            "q7",
+            [PO, CM, CM, P, P, P],
+            [(0, 1), (1, 2), (0, 3), (1, 4), (2, 5), (3, 4), (4, 5)],
+            "two-level comment cascade among friends "
+            "(embedding count grows rapidly with scale)",
+        ),
+        _query(
+            "q8",
+            [P, P, P, P, F],
+            [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2),
+             (4, 0), (4, 1), (4, 2), (4, 3)],
+            "chorded 4-cycle of friends co-members of one forum "
+            "(densest: five non-tree edges)",
+        ),
+    ]
+    return {q.name: q for q in queries}
+
+
+_QUERIES = _build_all()
+
+#: Query names in benchmark order.
+QUERY_NAMES: tuple[str, ...] = tuple(sorted(_QUERIES))
+
+
+def get_query(name: str) -> BenchmarkQuery:
+    """Look up one benchmark query by name (``q0``..``q8``)."""
+    try:
+        return _QUERIES[name]
+    except KeyError:
+        raise QueryError(
+            f"unknown query {name!r}; known: {list(QUERY_NAMES)}"
+        ) from None
+
+
+def all_queries() -> list[BenchmarkQuery]:
+    """All nine benchmark queries, in name order."""
+    return [_QUERIES[name] for name in QUERY_NAMES]

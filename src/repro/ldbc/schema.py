@@ -1,0 +1,126 @@
+"""LDBC-SNB-like schema used by the synthetic benchmark generator.
+
+The paper evaluates on LDBC social-network-benchmark graphs whose
+vertices carry 11 labels (Table III: "# Labels = 11"). We reproduce the
+SNB entity types that the interactive/complex workloads touch:
+
+========  ===========  ======================================
+label id  name         role
+========  ===========  ======================================
+0         Person       social actor; ``knows`` edges
+1         City         person location
+2         Country      city grouping
+3         Continent    country grouping
+4         Forum        message container with members
+5         Post         top-level message
+6         Comment      reply message
+7         Tag          topic attached to messages/persons
+8         TagClass     tag taxonomy node
+9         University   person ``studyAt`` target
+10        Company      person ``workAt`` target
+========  ===========  ======================================
+
+Edges are undirected and untyped in the matching problem (Section II),
+but the generator produces them from the typed SNB relationships listed
+in :data:`EDGE_FAMILIES` so the label-pair structure of real SNB data is
+preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class Label(IntEnum):
+    """Vertex labels of the synthetic LDBC-SNB-like schema."""
+
+    PERSON = 0
+    CITY = 1
+    COUNTRY = 2
+    CONTINENT = 3
+    FORUM = 4
+    POST = 5
+    COMMENT = 6
+    TAG = 7
+    TAGCLASS = 8
+    UNIVERSITY = 9
+    COMPANY = 10
+
+
+#: Number of distinct labels, matching Table III's "# Labels" column.
+NUM_LABELS = len(Label)
+
+#: Human-readable names indexed by label id.
+LABEL_NAMES = tuple(label.name.title() for label in Label)
+
+
+@dataclass(frozen=True)
+class EdgeFamily:
+    """One typed SNB relationship the generator materialises.
+
+    ``src``/``dst`` are the endpoint labels; ``description`` documents
+    the SNB relationship the family models.
+    """
+
+    name: str
+    src: Label
+    dst: Label
+    description: str
+
+
+#: The typed relationships of the generated network. The matching layer
+#: never sees these names - they exist so the generator and the tests
+#: can reason about which label pairs may be adjacent.
+EDGE_FAMILIES: tuple[EdgeFamily, ...] = (
+    EdgeFamily("knows", Label.PERSON, Label.PERSON,
+               "friendship between persons (power-law)"),
+    EdgeFamily("person_located_in", Label.PERSON, Label.CITY,
+               "person lives in city (Zipf over cities)"),
+    EdgeFamily("study_at", Label.PERSON, Label.UNIVERSITY,
+               "person studied at university"),
+    EdgeFamily("work_at", Label.PERSON, Label.COMPANY,
+               "person works at company"),
+    EdgeFamily("city_part_of", Label.CITY, Label.COUNTRY,
+               "city belongs to country"),
+    EdgeFamily("country_part_of", Label.COUNTRY, Label.CONTINENT,
+               "country belongs to continent"),
+    EdgeFamily("has_moderator", Label.FORUM, Label.PERSON,
+               "forum moderated by person"),
+    EdgeFamily("has_member", Label.FORUM, Label.PERSON,
+               "forum membership (correlated with friendships)"),
+    EdgeFamily("container_of", Label.FORUM, Label.POST,
+               "forum contains post"),
+    EdgeFamily("forum_has_tag", Label.FORUM, Label.TAG,
+               "forum topic"),
+    EdgeFamily("post_has_creator", Label.POST, Label.PERSON,
+               "post written by person"),
+    EdgeFamily("post_has_tag", Label.POST, Label.TAG,
+               "post topic (Zipf over tags)"),
+    EdgeFamily("comment_has_creator", Label.COMMENT, Label.PERSON,
+               "comment written by person (often a friend of the "
+               "parent author)"),
+    EdgeFamily("reply_of_post", Label.COMMENT, Label.POST,
+               "comment replies to post"),
+    EdgeFamily("reply_of_comment", Label.COMMENT, Label.COMMENT,
+               "comment replies to comment (cascades)"),
+    EdgeFamily("comment_has_tag", Label.COMMENT, Label.TAG,
+               "comment topic (Zipf over tags)"),
+    EdgeFamily("has_interest", Label.PERSON, Label.TAG,
+               "person interested in tag (Zipf over tags)"),
+    EdgeFamily("likes_post", Label.PERSON, Label.POST,
+               "person likes post"),
+    EdgeFamily("likes_comment", Label.PERSON, Label.COMMENT,
+               "person likes comment"),
+    EdgeFamily("tag_has_type", Label.TAG, Label.TAGCLASS,
+               "tag classified under tag class"),
+    EdgeFamily("subclass_of", Label.TAGCLASS, Label.TAGCLASS,
+               "tag-class taxonomy tree"),
+)
+
+
+def allowed_label_pairs() -> set[tuple[int, int]]:
+    """Canonical (min, max) label pairs that may be adjacent."""
+    return {
+        (min(f.src, f.dst), max(f.src, f.dst)) for f in EDGE_FAMILIES
+    }

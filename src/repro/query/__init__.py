@@ -1,0 +1,41 @@
+"""Query processing: validated query graphs, BFS trees, matching orders."""
+
+from repro.query.ordering import (
+    all_connected_orders,
+    ceci_style_order,
+    cfl_style_order,
+    daf_style_order,
+    initial_candidate_counts,
+    is_connected_order,
+    path_based_order,
+    random_connected_order,
+    validate_order,
+)
+from repro.query.query_graph import MAX_QUERY_VERTICES, QueryGraph, as_query
+from repro.query.sampler import SAMPLER_METHODS, sample_queries, sample_query
+from repro.query.spanning_tree import (
+    SpanningTree,
+    build_bfs_tree,
+    choose_root,
+)
+
+__all__ = [
+    "MAX_QUERY_VERTICES",
+    "SAMPLER_METHODS",
+    "QueryGraph",
+    "SpanningTree",
+    "all_connected_orders",
+    "as_query",
+    "build_bfs_tree",
+    "ceci_style_order",
+    "cfl_style_order",
+    "choose_root",
+    "daf_style_order",
+    "initial_candidate_counts",
+    "is_connected_order",
+    "path_based_order",
+    "random_connected_order",
+    "sample_queries",
+    "sample_query",
+    "validate_order",
+]

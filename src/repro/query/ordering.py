@@ -1,0 +1,266 @@
+"""Matching orders.
+
+A matching order is a permutation of the query vertices such that each
+vertex (after the first) has at least one earlier neighbour - a
+*connected* order, which every algorithm in the paper requires. This
+module provides:
+
+* the **path-based order** FAST uses by default (root-to-leaf paths of
+  ``t_q``, most selective path first - Section V-B);
+* re-derived heuristic orders in the style of **CFL-Match**, **DAF**
+  and **CECI**, used by both the baselines and the Fig. 15
+  matching-order study;
+* **random connected orders** for the BEST/AVG/WORST sweep of Fig. 15.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.common.rng import make_rng
+from repro.graph.graph import Graph
+from repro.query.query_graph import QueryGraph, as_query
+from repro.query.spanning_tree import SpanningTree, build_bfs_tree, choose_root
+
+
+def is_connected_order(query: Graph | QueryGraph, order: tuple[int, ...]) -> bool:
+    """Whether ``order`` is a valid connected matching order."""
+    q = as_query(query)
+    if sorted(order) != list(range(q.num_vertices)):
+        return False
+    seen: set[int] = set()
+    for i, u in enumerate(order):
+        if i > 0 and not any(w in seen for w in q.neighbors(u)):
+            return False
+        seen.add(u)
+    return True
+
+
+def validate_order(query: Graph | QueryGraph, order: tuple[int, ...]) -> None:
+    """Raise :class:`QueryError` unless ``order`` is connected."""
+    if not is_connected_order(query, order):
+        raise QueryError(f"{order!r} is not a connected matching order")
+
+
+def initial_candidate_counts(query: Graph | QueryGraph, data: Graph) -> list[int]:
+    """Per-query-vertex count of data vertices passing the label-and-
+    degree filter; the common selectivity signal of the heuristics."""
+    q = as_query(query)
+    degrees = np.diff(data.indptr)
+    counts = []
+    for u in range(q.num_vertices):
+        cands = data.vertices_with_label(q.label(u))
+        counts.append(int(np.count_nonzero(degrees[cands] >= q.degree(u))))
+    return counts
+
+
+def path_based_order(tree: SpanningTree, data: Graph) -> tuple[int, ...]:
+    """FAST's default order: concatenated root-to-leaf paths of ``t_q``.
+
+    Paths are ordered by ascending estimated cardinality (product of the
+    initial candidate counts of their new vertices), so the most
+    selective path is matched first; this is the path-based technique
+    referenced in Section V-B.
+    """
+    counts = initial_candidate_counts(tree.query, data)
+    paths = tree.root_to_leaf_paths()
+
+    def path_weight(path: tuple[int, ...]) -> float:
+        weight = 1.0
+        for u in path[1:]:
+            weight *= max(1, counts[u])
+        return weight
+
+    order: list[int] = []
+    seen: set[int] = set()
+    for path in sorted(paths, key=path_weight):
+        for u in path:
+            if u not in seen:
+                seen.add(u)
+                order.append(u)
+    result = tuple(order)
+    validate_order(tree.query, result)
+    return result
+
+
+def cfl_style_order(query: Graph | QueryGraph, data: Graph) -> tuple[int, ...]:
+    """CFL-Match-style core-forest-leaf order.
+
+    The 2-core of the query is matched first (postponing the Cartesian
+    products of tree/leaf parts), then non-core non-leaf vertices, then
+    degree-1 leaves; ties break toward smaller candidate counts.
+    Within each class the order stays connected.
+    """
+    q = as_query(query)
+    counts = initial_candidate_counts(q, data)
+    core = _two_core(q)
+    leaves = {u for u in range(q.num_vertices) if q.degree(u) == 1}
+
+    def vertex_class(u: int) -> int:
+        if u in core:
+            return 0
+        if u in leaves:
+            return 2
+        return 1
+
+    start = min(
+        (u for u in range(q.num_vertices)),
+        key=lambda u: (vertex_class(u), counts[u] / max(1, q.degree(u))),
+    )
+    return _greedy_connected_order(
+        q, start, key=lambda u: (vertex_class(u), counts[u])
+    )
+
+
+def daf_style_order(query: Graph | QueryGraph, data: Graph) -> tuple[int, ...]:
+    """DAF-style order: candidate-size-first over a BFS DAG.
+
+    DAF picks the root minimising ``|C(u)|/deg(u)`` and extends by the
+    smallest candidate set among vertices adjacent to the matched
+    prefix (its path-size adaptive order, simplified).
+    """
+    q = as_query(query)
+    counts = initial_candidate_counts(q, data)
+    root = choose_root(q, data)
+    return _greedy_connected_order(q, root, key=lambda u: (counts[u],))
+
+
+def ceci_style_order(query: Graph | QueryGraph, data: Graph) -> tuple[int, ...]:
+    """CECI-style order: BFS over ``t_q`` from the selectivity root.
+
+    CECI processes the query in the BFS order of its spanning tree,
+    exploring high-degree (more constrained) vertices earlier within a
+    level.
+    """
+    q = as_query(query)
+    root = choose_root(q, data)
+    tree = build_bfs_tree(q, root)
+    order = tuple(tree.bfs_order)
+    validate_order(q, order)
+    return order
+
+
+def tree_compatible_order(tree: SpanningTree, key) -> tuple[int, ...]:
+    """A connected order in which every tree parent precedes its child.
+
+    Matchers whose extensions come from the spanning-tree parent's
+    candidate row (CFL-Match's CPI, CECI's forward candidates) need
+    the parent matched first. Vertices become eligible when their tree
+    parent is matched; among eligible vertices the one minimising
+    ``key`` goes next.
+    """
+    order = [tree.root]
+    eligible = set(tree.children[tree.root])
+    while eligible:
+        u = min(sorted(eligible), key=lambda w: (key(w), w))
+        order.append(u)
+        eligible.discard(u)
+        eligible.update(tree.children[u])
+    result = tuple(order)
+    validate_order(tree.query, result)
+    return result
+
+
+def random_connected_order(
+    query: Graph | QueryGraph, seed: int | None = None
+) -> tuple[int, ...]:
+    """A uniformly random start with random connected extensions."""
+    q = as_query(query)
+    rng = make_rng(seed, "random_order", q.num_vertices, q.num_edges)
+    start = int(rng.integers(0, q.num_vertices))
+    order = [start]
+    seen = {start}
+    frontier = set(q.neighbors(start))
+    while len(order) < q.num_vertices:
+        choices = sorted(frontier)
+        u = int(choices[rng.integers(0, len(choices))])
+        order.append(u)
+        seen.add(u)
+        frontier.discard(u)
+        frontier.update(w for w in q.neighbors(u) if w not in seen)
+    result = tuple(order)
+    validate_order(q, result)
+    return result
+
+
+def all_connected_orders(query: Graph | QueryGraph) -> list[tuple[int, ...]]:
+    """Enumerate every connected matching order (small queries only).
+
+    Used by the Fig. 15 study to find the true BEST/WORST orders; the
+    count grows factorially, so queries are capped at 10 vertices.
+    """
+    q = as_query(query)
+    if q.num_vertices > 10:
+        raise QueryError(
+            "all_connected_orders is limited to 10-vertex queries"
+        )
+    results: list[tuple[int, ...]] = []
+
+    def extend(order: list[int], seen: set[int]) -> None:
+        if len(order) == q.num_vertices:
+            results.append(tuple(order))
+            return
+        frontier = sorted(
+            {
+                w
+                for u in order
+                for w in q.neighbors(u)
+                if w not in seen
+            }
+        )
+        for w in frontier:
+            order.append(w)
+            seen.add(w)
+            extend(order, seen)
+            order.pop()
+            seen.remove(w)
+
+    for start in range(q.num_vertices):
+        extend([start], {start})
+    return results
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _two_core(q: QueryGraph) -> set[int]:
+    """Vertices of the 2-core (repeatedly strip degree-<2 vertices)."""
+    degree = {u: q.degree(u) for u in range(q.num_vertices)}
+    removed: set[int] = set()
+    changed = True
+    while changed:
+        changed = False
+        for u in range(q.num_vertices):
+            if u not in removed and degree[u] < 2:
+                removed.add(u)
+                changed = True
+                for w in q.neighbors(u):
+                    if w not in removed:
+                        degree[w] -= 1
+    return {u for u in range(q.num_vertices) if u not in removed}
+
+
+def _greedy_connected_order(
+    q: QueryGraph, start: int, key
+) -> tuple[int, ...]:
+    """Connected order starting at ``start``, extending by min ``key``."""
+    order = [start]
+    seen = {start}
+    while len(order) < q.num_vertices:
+        frontier = sorted(
+            {
+                w
+                for u in order
+                for w in q.neighbors(u)
+                if w not in seen
+            }
+        )
+        u = min(frontier, key=lambda w: (key(w), w))
+        order.append(u)
+        seen.add(u)
+    result = tuple(order)
+    validate_order(q, result)
+    return result

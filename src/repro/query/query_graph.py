@@ -1,0 +1,83 @@
+"""Query-graph validation and convenience accessors.
+
+A query in this problem (Section II) is a small, connected, labelled,
+simple, undirected graph. :class:`QueryGraph` wraps a
+:class:`~repro.graph.graph.Graph` with that contract checked once, and
+precomputes the per-vertex neighbour lists the matching layers probe
+constantly.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError
+from repro.graph.graph import Graph
+
+#: Queries beyond this size are almost certainly a mistake (the paper's
+#: workload uses 4-8 vertices); the limit guards against accidentally
+#: passing a data graph where a query was expected.
+MAX_QUERY_VERTICES = 64
+
+
+class QueryGraph:
+    """A validated query graph.
+
+    Raises :class:`QueryError` on construction if the graph is empty,
+    disconnected, or larger than :data:`MAX_QUERY_VERTICES`.
+    """
+
+    __slots__ = ("graph", "_neighbors", "_degrees")
+
+    def __init__(self, graph: Graph) -> None:
+        if graph.num_vertices == 0:
+            raise QueryError("query graph must have at least one vertex")
+        if graph.num_vertices > MAX_QUERY_VERTICES:
+            raise QueryError(
+                f"query has {graph.num_vertices} vertices; "
+                f"limit is {MAX_QUERY_VERTICES}"
+            )
+        if not graph.is_connected():
+            raise QueryError("query graph must be connected")
+        self.graph = graph
+        self._neighbors: list[tuple[int, ...]] = [
+            tuple(int(w) for w in graph.neighbors(u))
+            for u in graph.vertices()
+        ]
+        self._degrees = [len(ns) for ns in self._neighbors]
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    def label(self, u: int) -> int:
+        """Label of query vertex ``u``."""
+        return self.graph.label(u)
+
+    def degree(self, u: int) -> int:
+        """Degree of query vertex ``u``."""
+        return self._degrees[u]
+
+    def neighbors(self, u: int) -> tuple[int, ...]:
+        """Neighbours of query vertex ``u`` (sorted tuple)."""
+        return self._neighbors[u]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``(u, v)`` is a query edge."""
+        return v in self._neighbors[u]
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Query edges as ``(u, v)`` with ``u < v``."""
+        return list(self.graph.edges())
+
+    def __repr__(self) -> str:
+        return f"QueryGraph(|V|={self.num_vertices}, |E|={self.num_edges})"
+
+
+def as_query(graph_or_query: Graph | QueryGraph) -> QueryGraph:
+    """Coerce a raw :class:`Graph` into a validated :class:`QueryGraph`."""
+    if isinstance(graph_or_query, QueryGraph):
+        return graph_or_query
+    return QueryGraph(graph_or_query)

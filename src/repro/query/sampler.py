@@ -1,0 +1,150 @@
+"""Query sampling from data graphs.
+
+The standard methodology for generating subgraph-matching workloads
+(used by the surveys the paper cites) extracts queries *from the data
+graph itself*: sample a connected subgraph, keep its labels, and use
+it as the query - which guarantees at least one embedding and gives
+the query a realistic label/degree mix. Two samplers are provided:
+
+``random_walk``
+    Grow the vertex set by random walking from a random start; the
+    query is the subgraph induced on the visited vertices. Induced
+    queries are relatively dense.
+``forest_fire``
+    Recursively "burn" a random subset of each frontier vertex's
+    neighbours, then optionally keep only a connected spanning
+    selection of the induced edges, yielding sparser, tree-ish
+    queries.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import QueryError
+from repro.common.rng import make_rng
+from repro.graph.graph import Graph
+
+SAMPLER_METHODS = ("random_walk", "forest_fire")
+
+
+def sample_query(
+    data: Graph,
+    num_vertices: int,
+    seed: int | None = None,
+    method: str = "random_walk",
+    max_attempts: int = 50,
+) -> Graph:
+    """Sample a connected ``num_vertices``-vertex query from ``data``.
+
+    The returned query is an induced (``random_walk``) or partial
+    (``forest_fire``) subgraph of the data graph with data labels, so
+    it has at least one embedding by construction. Raises
+    :class:`QueryError` if the graph cannot yield one (e.g. fewer
+    vertices than requested, or no sufficiently large connected
+    region).
+    """
+    if method not in SAMPLER_METHODS:
+        raise QueryError(
+            f"unknown sampler {method!r}; choose from {SAMPLER_METHODS}"
+        )
+    if num_vertices < 1:
+        raise QueryError("query needs at least one vertex")
+    if num_vertices > data.num_vertices:
+        raise QueryError(
+            f"cannot sample {num_vertices} vertices from a graph "
+            f"with {data.num_vertices}"
+        )
+    rng = make_rng(seed, "query_sampler", method, num_vertices)
+    for _attempt in range(max_attempts):
+        picked = _grow(data, num_vertices, rng, method)
+        if picked is None:
+            continue
+        sub, _old = data.induced_subgraph(sorted(picked))
+        if method == "forest_fire" and sub.num_edges > num_vertices:
+            sub = _sparsify(sub, rng)
+        if sub.is_connected():
+            return sub
+    raise QueryError(
+        f"failed to sample a connected {num_vertices}-vertex query "
+        f"after {max_attempts} attempts"
+    )
+
+
+def sample_queries(
+    data: Graph,
+    count: int,
+    num_vertices: int,
+    seed: int | None = None,
+    method: str = "random_walk",
+) -> list[Graph]:
+    """Sample ``count`` queries with derived per-query seeds."""
+    base = seed if seed is not None else 0
+    return [
+        sample_query(data, num_vertices, seed=base * 10_007 + i,
+                     method=method)
+        for i in range(count)
+    ]
+
+
+def _grow(data, num_vertices, rng, method):
+    """Pick a connected vertex set of the requested size, or None."""
+    start = int(rng.integers(0, data.num_vertices))
+    picked = {start}
+    if method == "random_walk":
+        current = start
+        for _step in range(num_vertices * 30):
+            if len(picked) == num_vertices:
+                return picked
+            nbrs = data.neighbors(current)
+            if len(nbrs) == 0:
+                return None
+            current = int(nbrs[rng.integers(0, len(nbrs))])
+            picked.add(current)
+            # Occasionally restart inside the picked set to avoid
+            # drifting away in one direction.
+            if rng.random() < 0.15:
+                pool = sorted(picked)
+                current = pool[int(rng.integers(0, len(pool)))]
+        return picked if len(picked) == num_vertices else None
+
+    # forest fire
+    frontier = [start]
+    while frontier and len(picked) < num_vertices:
+        v = frontier.pop()
+        nbrs = [int(w) for w in data.neighbors(v) if int(w) not in picked]
+        rng.shuffle(nbrs)
+        burn = max(1, int(rng.geometric(0.5))) if nbrs else 0
+        for w in nbrs[:burn]:
+            if len(picked) >= num_vertices:
+                break
+            picked.add(w)
+            frontier.append(w)
+    return picked if len(picked) == num_vertices else None
+
+
+def _sparsify(sub: Graph, rng) -> Graph:
+    """Drop a random subset of non-bridge edges, keeping connectivity."""
+    edges = list(sub.edges())
+    rng.shuffle(edges)
+    keep: list[tuple[int, int]] = []
+    # Spanning connectivity first (simple union-find).
+    parent = list(range(sub.num_vertices))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    extras = []
+    for u, v in edges:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            keep.append((u, v))
+        else:
+            extras.append((u, v))
+    # Keep about half of the extra (cycle-closing) edges.
+    for edge in extras:
+        if rng.random() < 0.5:
+            keep.append(edge)
+    return Graph.from_edges(sub.num_vertices, keep, sub.labels.copy())

@@ -1,0 +1,164 @@
+"""BFS spanning trees of query graphs.
+
+CST construction (Section V-A) works over a BFS tree ``t_q`` of the
+query. The tree fixes, for each non-root query vertex, one *tree
+parent*; the remaining query edges become *non-tree* edges whose
+candidate-level counterparts the Edge Validator checks at match time.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import QueryError
+from repro.graph.graph import Graph
+from repro.query.query_graph import QueryGraph, as_query
+
+
+@dataclass(frozen=True)
+class SpanningTree:
+    """A rooted BFS tree of a query graph.
+
+    Attributes
+    ----------
+    query:
+        The underlying query.
+    root:
+        Root query vertex.
+    parent:
+        ``parent[u]`` is the tree parent of ``u`` (-1 for the root).
+    children:
+        ``children[u]`` lists tree children in BFS discovery order.
+    bfs_order:
+        All query vertices in BFS discovery order (root first).
+    depth:
+        ``depth[u]`` is the distance from the root in the tree.
+    non_tree_edges:
+        Query edges absent from the tree, as ``(u, v)`` with ``u``
+        discovered before ``v`` in BFS order.
+    """
+
+    query: QueryGraph
+    root: int
+    parent: tuple[int, ...]
+    children: tuple[tuple[int, ...], ...]
+    bfs_order: tuple[int, ...]
+    depth: tuple[int, ...]
+    non_tree_edges: tuple[tuple[int, int], ...] = field(default=())
+
+    def tree_edges(self) -> list[tuple[int, int]]:
+        """Tree edges as ``(parent, child)``."""
+        return [
+            (self.parent[u], u) for u in self.bfs_order if self.parent[u] >= 0
+        ]
+
+    def non_tree_neighbors(self, u: int) -> tuple[int, ...]:
+        """Non-tree neighbours of ``u`` (from either edge orientation)."""
+        out = []
+        for a, b in self.non_tree_edges:
+            if a == u:
+                out.append(b)
+            elif b == u:
+                out.append(a)
+        return tuple(out)
+
+    def leaves(self) -> tuple[int, ...]:
+        """Tree leaves (no children), in BFS order."""
+        return tuple(u for u in self.bfs_order if not self.children[u])
+
+    def root_to_leaf_paths(self) -> list[tuple[int, ...]]:
+        """All root-to-leaf paths (used by the path-based order)."""
+        paths: list[tuple[int, ...]] = []
+
+        def walk(u: int, prefix: tuple[int, ...]) -> None:
+            prefix = prefix + (u,)
+            if not self.children[u]:
+                paths.append(prefix)
+                return
+            for c in self.children[u]:
+                walk(c, prefix)
+
+        walk(self.root, ())
+        return paths
+
+    def is_ancestor(self, a: int, u: int) -> bool:
+        """Whether ``a`` lies on the root path of ``u`` (inclusive)."""
+        while u != -1:
+            if u == a:
+                return True
+            u = self.parent[u]
+        return False
+
+
+def build_bfs_tree(query: Graph | QueryGraph, root: int) -> SpanningTree:
+    """Build the BFS spanning tree of ``query`` rooted at ``root``.
+
+    Neighbour exploration order is ascending vertex id, so the tree is
+    deterministic for a given root.
+    """
+    q = as_query(query)
+    n = q.num_vertices
+    if not 0 <= root < n:
+        raise QueryError(f"root {root} out of range for |V(q)|={n}")
+    parent = [-2] * n
+    depth = [0] * n
+    order: list[int] = []
+    parent[root] = -1
+    queue: deque[int] = deque([root])
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for w in q.neighbors(u):
+            if parent[w] == -2:
+                parent[w] = u
+                depth[w] = depth[u] + 1
+                queue.append(w)
+    if len(order) != n:
+        raise QueryError("query graph is disconnected")  # pragma: no cover
+
+    children: list[list[int]] = [[] for _ in range(n)]
+    for u in order:
+        if parent[u] >= 0:
+            children[parent[u]].append(u)
+
+    rank = {u: i for i, u in enumerate(order)}
+    non_tree = []
+    for a, b in q.edges():
+        if parent[b] == a or parent[a] == b:
+            continue
+        first, second = (a, b) if rank[a] < rank[b] else (b, a)
+        non_tree.append((first, second))
+    non_tree.sort(key=lambda e: (rank[e[0]], rank[e[1]]))
+
+    return SpanningTree(
+        query=q,
+        root=root,
+        parent=tuple(parent),
+        children=tuple(tuple(c) for c in children),
+        bfs_order=tuple(order),
+        depth=tuple(depth),
+        non_tree_edges=tuple(non_tree),
+    )
+
+
+def choose_root(query: Graph | QueryGraph, data: Graph) -> int:
+    """Pick the CST root with the classic selectivity heuristic.
+
+    Following CFL-Match (which CST construction borrows), the root
+    minimises ``|C_init(u)| / deg_q(u)``, where ``C_init(u)`` counts
+    data vertices passing the label-and-degree filter. A small, highly
+    constrained root keeps the CST narrow near the top.
+    """
+    q = as_query(query)
+    data_degrees = np.diff(data.indptr)
+    best_u, best_score = 0, float("inf")
+    for u in range(q.num_vertices):
+        cands = data.vertices_with_label(q.label(u))
+        count = int(np.count_nonzero(data_degrees[cands] >= q.degree(u)))
+        score = count / max(1, q.degree(u))
+        if score < best_score:
+            best_u, best_score = u, score
+    return best_u

@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+Heavy objects (datasets, CSTs) are session-scoped: generation is
+deterministic, so sharing them across tests changes nothing about
+isolation while keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.costs.cpu import CpuCostModel
+from repro.costs.resources import ResourceLimits
+from repro.experiments.harness import HarnessConfig
+from repro.fpga.config import FpgaConfig
+from repro.graph.generators import random_labeled_graph
+from repro.ldbc.datasets import load_dataset
+from repro.ldbc.queries import all_queries
+
+
+@pytest.fixture(scope="session")
+def micro_dataset():
+    """The smallest LDBC-like dataset (~600 vertices)."""
+    return load_dataset("DG-MICRO", use_cache=False)
+
+
+@pytest.fixture(scope="session")
+def mini_dataset():
+    """A small LDBC-like dataset (~1.2K vertices)."""
+    return load_dataset("DG-MINI", use_cache=False)
+
+
+@pytest.fixture(scope="session")
+def micro_graph(micro_dataset):
+    return micro_dataset.graph
+
+
+@pytest.fixture(scope="session")
+def mini_graph(mini_dataset):
+    return mini_dataset.graph
+
+
+@pytest.fixture(scope="session")
+def queries():
+    """The nine benchmark queries."""
+    return all_queries()
+
+
+@pytest.fixture(scope="session")
+def small_random_graph():
+    """A dense-ish random labelled graph for correctness tests."""
+    return random_labeled_graph(60, 240, 3, seed=11, connected=True)
+
+
+@pytest.fixture()
+def fpga_config():
+    return FpgaConfig()
+
+
+@pytest.fixture()
+def tight_fpga_config():
+    """A device whose limits force partitioning on micro datasets."""
+    return FpgaConfig(bram_bytes=48 * 1024, batch_size=64, max_ports=16)
+
+
+@pytest.fixture()
+def cpu_cost():
+    return CpuCostModel()
+
+
+@pytest.fixture()
+def limits():
+    return ResourceLimits()
+
+
+@pytest.fixture()
+def harness_config():
+    return HarnessConfig(use_cache=False)

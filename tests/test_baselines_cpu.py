@@ -1,0 +1,273 @@
+"""Tests for the CPU baselines: reference matcher, backtracking core,
+CFL-Match, DAF, CECI, and the parallel variants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ceci import Ceci
+from repro.baselines.cfl import CflMatch
+from repro.baselines.daf import Daf
+from repro.baselines.matcher_core import run_backtracking
+from repro.baselines.parallel import ParallelCeci, ParallelDaf
+from repro.baselines.reference import (
+    count_reference_embeddings,
+    iter_reference_embeddings,
+    reference_embeddings,
+)
+from repro.common.errors import ModeledTimeout, QueryError
+from repro.costs.cpu import CpuCostModel
+from repro.costs.resources import ResourceLimits
+from repro.cst.builder import build_cst
+from repro.graph.generators import random_connected_query, random_labeled_graph
+from repro.graph.graph import Graph
+from repro.ldbc.queries import all_queries, get_query
+from repro.query.ordering import daf_style_order
+
+
+class TestReferenceMatcher:
+    def test_triangle_in_triangle(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [0, 0, 0])
+        q = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [0, 0, 0])
+        # 3! automorphic embeddings.
+        assert count_reference_embeddings(q, g) == 6
+
+    def test_labels_constrain(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [0, 1, 2])
+        q = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)], [0, 1, 2])
+        assert count_reference_embeddings(q, g) == 1
+
+    def test_injectivity(self):
+        # Query path of two same-label vertices on a single-edge graph.
+        g = Graph.from_edges(2, [(0, 1)], [0, 0])
+        q = Graph.from_edges(3, [(0, 1), (1, 2)], [0, 0, 0])
+        assert count_reference_embeddings(q, g) == 0
+
+    def test_no_match_label_missing(self):
+        g = Graph.from_edges(2, [(0, 1)], [0, 0])
+        q = Graph.from_edges(2, [(0, 1)], [0, 5])
+        assert count_reference_embeddings(q, g) == 0
+
+    def test_limit_stops_early(self, micro_graph):
+        q = get_query("q0")
+        out = reference_embeddings(q.graph, micro_graph, limit=10)
+        assert len(out) == 10
+
+    def test_explicit_order_same_result(self, micro_graph):
+        q = get_query("q0")
+        base = count_reference_embeddings(q.graph, micro_graph)
+        order = daf_style_order(q.graph, micro_graph)
+        assert count_reference_embeddings(q.graph, micro_graph, order) == base
+
+    def test_invalid_order_rejected(self, micro_graph):
+        q = get_query("q2")
+        with pytest.raises(QueryError):
+            list(iter_reference_embeddings(q.graph, micro_graph,
+                                           order=(2, 3, 0, 1)))
+
+    def test_embeddings_are_valid(self, micro_graph):
+        q = get_query("q1")
+        qg = q.graph
+        for emb in reference_embeddings(qg, micro_graph, limit=50):
+            assert len(set(emb)) == len(emb)
+            for u in range(qg.num_vertices):
+                assert micro_graph.label(emb[u]) == qg.label(u)
+            for a, b in qg.edges():
+                assert micro_graph.has_edge(emb[a], emb[b])
+
+    def test_against_networkx(self):
+        """Independent oracle: networkx's VF2 on random graphs."""
+        import networkx as nx
+        for seed in range(5):
+            data = random_labeled_graph(18, 40, 2, seed=seed)
+            query = random_connected_query(4, 5, 2, seed=seed + 100)
+            ours = count_reference_embeddings(query, data)
+
+            ng = nx.Graph()
+            for v in data.vertices():
+                ng.add_node(v, label=data.label(v))
+            ng.add_edges_from(data.edges())
+            nq = nx.Graph()
+            for v in query.vertices():
+                nq.add_node(v, label=query.label(v))
+            nq.add_edges_from(query.edges())
+            matcher = nx.algorithms.isomorphism.GraphMatcher(
+                ng, nq,
+                node_match=lambda a, b: a["label"] == b["label"],
+            )
+            theirs = sum(1 for _ in matcher.subgraph_monomorphisms_iter())
+            assert ours == theirs, f"seed {seed}: {ours} vs {theirs}"
+
+
+class TestBacktrackCore:
+    @pytest.fixture(scope="class")
+    def fixture(self, micro_graph):
+        q = get_query("q2")
+        cst = build_cst(q.graph, micro_graph)
+        order = daf_style_order(q.graph, micro_graph)
+        ref = count_reference_embeddings(q.graph, micro_graph)
+        return cst, order, ref
+
+    def test_three_methods_agree(self, fixture, micro_graph):
+        cst, order, ref = fixture
+        intersect = run_backtracking(cst, micro_graph, order, "intersect")
+        assert intersect.embeddings == ref
+        # Anchored methods need a tree-compatible order.
+        tree_order = tuple(cst.tree.bfs_order)
+        verify = run_backtracking(cst, micro_graph, tree_order, "verify")
+        anchor = run_backtracking(cst, micro_graph, tree_order,
+                                  "anchor_intersect")
+        assert verify.embeddings == ref
+        assert anchor.embeddings == ref
+
+    def test_verify_counts_edge_checks(self, fixture, micro_graph):
+        cst, _order, _ref = fixture
+        tree_order = tuple(cst.tree.bfs_order)
+        out = run_backtracking(cst, micro_graph, tree_order, "verify")
+        assert out.counters.edge_checks > 0
+        assert out.counters.intersection_elements == 0
+
+    def test_intersect_counts_elements(self, fixture, micro_graph):
+        cst, order, _ref = fixture
+        out = run_backtracking(cst, micro_graph, order, "intersect")
+        assert out.counters.intersection_elements > 0
+        assert out.counters.edge_checks == 0
+
+    def test_unknown_method_rejected(self, fixture, micro_graph):
+        cst, order, _ = fixture
+        with pytest.raises(QueryError, match="method"):
+            run_backtracking(cst, micro_graph, order, "magic")
+
+    def test_non_tree_order_rejected_for_anchored(self, micro_graph):
+        q = get_query("q0")
+        cst = build_cst(q.graph, micro_graph)
+        tree_order = tuple(cst.tree.bfs_order)
+        # Reverse order is connected for a triangle+tail but breaks
+        # parent-first for at least one vertex.
+        from repro.query.ordering import is_connected_order
+        rev = tuple(reversed(tree_order))
+        if is_connected_order(q.graph, rev):
+            with pytest.raises(QueryError, match="tree-compatible"):
+                run_backtracking(cst, micro_graph, rev, "verify")
+
+    def test_modeled_deadline_raises(self, micro_graph):
+        q = get_query("q8")
+        cst = build_cst(q.graph, micro_graph)
+        order = daf_style_order(q.graph, micro_graph)
+        tiny = ResourceLimits(time_limit_seconds=1e-12)
+        with pytest.raises(ModeledTimeout):
+            run_backtracking(cst, micro_graph, order, "intersect",
+                             limits=tiny)
+
+    def test_track_roots_covers_all_roots(self, fixture, micro_graph):
+        cst, order, _ = fixture
+        out = run_backtracking(cst, micro_graph, order, "intersect",
+                               track_roots=True)
+        assert len(out.per_root_seconds) == cst.candidate_count(order[0])
+        assert all(s >= 0 for s in out.per_root_seconds)
+
+
+class TestCpuBaselines:
+    def test_all_agree_with_reference(self, micro_graph):
+        for q in all_queries():
+            ref = count_reference_embeddings(q.graph, micro_graph)
+            cfl = CflMatch().run(q.graph, micro_graph)
+            daf, _ = Daf().run(q.graph, micro_graph)
+            ceci, _ = Ceci().run(q.graph, micro_graph)
+            for result in (cfl, daf, ceci):
+                assert result.ok, (q.name, result.algorithm, result.detail)
+                assert result.embeddings == ref, (q.name, result.algorithm)
+
+    def test_times_positive_and_include_index(self, micro_graph):
+        q = get_query("q2")
+        result = CflMatch().run(q.graph, micro_graph)
+        assert result.seconds > result.index_seconds > 0
+
+    def test_cfl_oom_on_adjacency_matrix(self, micro_graph):
+        tiny = ResourceLimits(host_memory_bytes=1000)
+        result = CflMatch(limits=tiny).run(
+            get_query("q0").graph, micro_graph
+        )
+        assert result.verdict == "OOM"
+        assert "adjacency matrix" in result.detail
+
+    def test_daf_overflow_on_large_search_space(self, micro_graph):
+        limits = ResourceLimits(counter_limit=10)
+        result, _ = Daf(limits=limits).run(
+            get_query("q8").graph, micro_graph
+        )
+        assert result.verdict == "OVERFLOW"
+
+    def test_ceci_memory_verdict(self, micro_graph):
+        tiny = ResourceLimits(host_memory_bytes=1000)
+        result, _ = Ceci(limits=tiny).run(
+            get_query("q2").graph, micro_graph
+        )
+        assert result.verdict == "OOM"
+
+    def test_timeout_verdict(self, micro_graph):
+        limits = ResourceLimits(time_limit_seconds=1e-9)
+        result, _ = Daf(limits=limits).run(
+            get_query("q8").graph, micro_graph
+        )
+        assert result.verdict == "INF"
+
+    def test_matching_orders_exposed(self, micro_graph):
+        q = get_query("q3")
+        from repro.query.ordering import is_connected_order
+        for algo in (CflMatch(), Daf(), Ceci()):
+            order = algo.matching_order(q.graph, micro_graph)
+            assert is_connected_order(q.graph, order)
+
+    def test_daf_cs_is_refined(self, micro_graph):
+        q = get_query("q6")
+        cs = Daf().build_cs(q.graph, micro_graph)
+        plain = build_cst(q.graph, micro_graph)
+        assert cs.size_bytes() <= plain.size_bytes()
+
+
+class TestParallelBaselines:
+    def test_counts_match_serial(self, micro_graph):
+        q = get_query("q2")
+        ref = count_reference_embeddings(q.graph, micro_graph)
+        for algo in (ParallelDaf(), ParallelCeci()):
+            result = algo.run(q.graph, micro_graph)
+            assert result.ok
+            assert result.embeddings == ref
+
+    def test_parallel_faster_than_serial(self, micro_graph):
+        q = get_query("q8")
+        serial, _ = Ceci().run(q.graph, micro_graph)
+        parallel = ParallelCeci().run(q.graph, micro_graph)
+        assert parallel.seconds < serial.seconds
+
+    def test_speedup_bounded_by_threads(self, micro_graph):
+        q = get_query("q8")
+        serial, _ = Daf().run(q.graph, micro_graph)
+        parallel = ParallelDaf(num_threads=8).run(q.graph, micro_graph)
+        assert parallel.seconds >= serial.seconds / 8.0
+
+    def test_daf8_oom_model(self, micro_graph):
+        tiny = ResourceLimits(host_memory_bytes=10_000)
+        result = ParallelDaf(limits=tiny).run(
+            get_query("q8").graph, micro_graph
+        )
+        assert result.verdict == "OOM"
+        assert "frontier" in result.detail
+
+    def test_names(self):
+        assert ParallelDaf().name == "DAF-8"
+        assert ParallelCeci(num_threads=4).name == "CECI-4"
+
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_agreement(self, seed):
+        data = random_labeled_graph(30, 110, 3, seed=seed)
+        query = random_connected_query(4, 5, 3, seed=seed + 7)
+        ref = count_reference_embeddings(query, data)
+        cfl = CflMatch().run(query, data)
+        daf, _ = Daf().run(query, data)
+        ceci, _ = Ceci().run(query, data)
+        assert cfl.embeddings == daf.embeddings == ceci.embeddings == ref

@@ -1,0 +1,152 @@
+"""Tests for the GPU baselines: join machinery, GpSM, GSI."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.gpsm import GpSM
+from repro.baselines.gsi import Gsi
+from repro.baselines.join import (
+    candidate_edge_count,
+    candidate_vertices,
+    execute_join_plan,
+    join_plan,
+)
+from repro.baselines.reference import (
+    count_reference_embeddings,
+    reference_embeddings,
+)
+from repro.costs.gpu import GpuCostModel
+from repro.costs.resources import ResourceLimits
+from repro.graph.generators import random_connected_query, random_labeled_graph
+from repro.ldbc.queries import all_queries, get_query
+from repro.query.query_graph import as_query
+
+
+class TestJoinMachinery:
+    def test_candidate_vertices_filtered(self, micro_graph):
+        q = as_query(get_query("q6").graph)
+        for u in range(q.num_vertices):
+            for v in candidate_vertices(q, micro_graph, u)[:20]:
+                assert micro_graph.label(int(v)) == q.label(u)
+                assert micro_graph.degree(int(v)) >= q.degree(u)
+
+    def test_candidate_edge_count_positive(self, micro_graph):
+        q = as_query(get_query("q0").graph)
+        assert candidate_edge_count(q, micro_graph, 0, 1) > 0
+
+    def test_plan_is_connected(self, micro_graph):
+        for query in all_queries():
+            q = as_query(query.graph)
+            plan = join_plan(q, micro_graph)
+            extends = [s for s in plan if s.kind == "extend"]
+            filters = [s for s in plan if s.kind == "filter"]
+            assert len(extends) == q.num_vertices - 1
+            assert len(extends) + len(filters) == q.num_edges
+            bound = {extends[0].edge[0]} if extends else set()
+            for step in extends:
+                a, b = step.edge
+                assert a in bound
+                bound.add(b)
+
+    def test_execution_exact(self, micro_graph):
+        for name in ("q0", "q2", "q6"):
+            q = as_query(get_query(name).graph)
+            plan = join_plan(q, micro_graph)
+            execution = execute_join_plan(q, micro_graph, plan)
+            ref = count_reference_embeddings(q, micro_graph)
+            assert execution.num_embeddings == ref, name
+
+    def test_embeddings_query_indexed(self, micro_graph):
+        q = as_query(get_query("q1").graph)
+        plan = join_plan(q, micro_graph)
+        execution = execute_join_plan(q, micro_graph, plan)
+        assert sorted(execution.embeddings()) == sorted(
+            reference_embeddings(q, micro_graph)
+        )
+
+    def test_double_pass_doubles_traffic_only(self, micro_graph):
+        q = as_query(get_query("q0").graph)
+        plan = join_plan(q, micro_graph)
+        single = execute_join_plan(q, micro_graph, plan, double_pass=False)
+        double = execute_join_plan(q, micro_graph, plan, double_pass=True)
+        assert single.num_embeddings == double.num_embeddings
+        moved_single = sum(s.bytes_moved for s in single.stages[1:])
+        moved_double = sum(s.bytes_moved for s in double.stages[1:])
+        assert moved_double == pytest.approx(2 * moved_single)
+
+    def test_stage_traces_monotone_rows(self, micro_graph):
+        q = as_query(get_query("q5").graph)
+        plan = join_plan(q, micro_graph)
+        execution = execute_join_plan(q, micro_graph, plan)
+        for stage in execution.stages:
+            assert stage.rows_out >= 0
+            assert stage.resident_bytes >= 0
+        assert execution.peak_rows >= execution.num_embeddings
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_join_property_random(self, seed):
+        data = random_labeled_graph(30, 120, 3, seed=seed)
+        query = random_connected_query(4, 6, 3, seed=seed + 5)
+        q = as_query(query)
+        plan = join_plan(q, data)
+        execution = execute_join_plan(q, data, plan)
+        assert execution.num_embeddings == count_reference_embeddings(
+            query, data
+        )
+
+
+class TestGpuBaselines:
+    def test_counts_match_reference(self, micro_graph):
+        for name in ("q0", "q1", "q4", "q5"):
+            q = get_query(name).graph
+            ref = count_reference_embeddings(q, micro_graph)
+            gpsm = GpSM().run(q, micro_graph)
+            assert gpsm.ok and gpsm.embeddings == ref, name
+            gsi = Gsi().run(q, micro_graph)
+            if gsi.ok:
+                assert gsi.embeddings == ref, name
+
+    def test_oom_with_tiny_device(self, micro_graph):
+        tiny = GpuCostModel(memory_bytes=64)
+        q = get_query("q2").graph
+        assert GpSM(gpu=tiny).run(q, micro_graph).verdict == "OOM"
+        assert Gsi(gpu=tiny).run(q, micro_graph).verdict == "OOM"
+
+    def test_gsi_single_pass_faster_when_both_fit(self, micro_graph):
+        big = GpuCostModel(memory_bytes=1 << 40)
+        q = get_query("q1").graph
+        gpsm = GpSM(gpu=big).run(q, micro_graph)
+        gsi = Gsi(gpu=big).run(q, micro_graph)
+        assert gsi.ok and gpsm.ok
+        assert gsi.seconds < gpsm.seconds
+
+    def test_gsi_ooms_before_gpsm(self, micro_graph):
+        """GSI's prealloc makes it the first to exhaust device memory
+        (the paper's 'GSI has a higher memory cost')."""
+        q = get_query("q8").graph
+        budgets = [1 << b for b in range(14, 26)]
+        gsi_first_fit = next(
+            (b for b in budgets
+             if Gsi(gpu=GpuCostModel(memory_bytes=b)).run(
+                 q, micro_graph).ok),
+            None,
+        )
+        gpsm_first_fit = next(
+            (b for b in budgets
+             if GpSM(gpu=GpuCostModel(memory_bytes=b)).run(
+                 q, micro_graph).ok),
+            None,
+        )
+        assert gpsm_first_fit is not None
+        assert gsi_first_fit is None or gsi_first_fit >= gpsm_first_fit
+
+    def test_timeout_verdict(self, micro_graph):
+        limits = ResourceLimits(time_limit_seconds=1e-12)
+        result = GpSM(limits=limits).run(
+            get_query("q0").graph, micro_graph
+        )
+        assert result.verdict == "INF"

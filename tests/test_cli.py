@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_match_defaults(self):
+        args = build_parser().parse_args(["match"])
+        assert args.dataset == "DG-MINI"
+        assert args.variant == "share"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "--dataset", "DG-HUGE"])
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["match", "--query", "q99"])
+
+
+class TestCommands:
+    def test_match(self, capsys):
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--variant", "sep"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "embeddings" in out
+        assert "kernel_ms" in out
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--algorithms", "CECI", "FAST"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "CECI" in out and "FAST" in out
+
+    def test_info(self, capsys):
+        rc = main(["info", "--dataset", "DG-MICRO"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "num_vertices" in out

@@ -1,0 +1,112 @@
+"""Tests for repro.common: errors, RNG derivation, table rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import (
+    BufferOverflowError,
+    CSTError,
+    DeviceError,
+    GraphError,
+    ModeledOutOfMemory,
+    ModeledOverflow,
+    ModeledTimeout,
+    PartitionError,
+    QueryError,
+    ReproError,
+    ResourceExhausted,
+    SchedulerError,
+)
+from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng
+from repro.common.tables import format_value, render_kv, render_table
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for exc in (GraphError, QueryError, CSTError, PartitionError,
+                    DeviceError, BufferOverflowError, SchedulerError,
+                    ResourceExhausted, ModeledOutOfMemory, ModeledTimeout,
+                    ModeledOverflow):
+            assert issubclass(exc, ReproError)
+
+    def test_partition_error_is_cst_error(self):
+        assert issubclass(PartitionError, CSTError)
+
+    def test_buffer_overflow_is_device_error(self):
+        assert issubclass(BufferOverflowError, DeviceError)
+
+    def test_verdicts(self):
+        assert ModeledOutOfMemory.verdict == "OOM"
+        assert ModeledTimeout.verdict == "INF"
+        assert ModeledOverflow.verdict == "OVERFLOW"
+
+    def test_resource_exhausted_catchable(self):
+        with pytest.raises(ResourceExhausted):
+            raise ModeledTimeout("too long")
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_scope_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_seed_order_sensitive(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_make_rng_reproducible(self):
+        a = make_rng(5, "x").integers(0, 1 << 30, size=8)
+        b = make_rng(5, "x").integers(0, 1 << 30, size=8)
+        assert np.array_equal(a, b)
+
+    def test_make_rng_none_uses_default(self):
+        a = make_rng(None, "x").integers(0, 1 << 30)
+        b = make_rng(DEFAULT_SEED, "x").integers(0, 1 << 30)
+        assert a == b
+
+    def test_distinct_scopes_distinct_streams(self):
+        a = make_rng(5, "x").integers(0, 1 << 62)
+        b = make_rng(5, "y").integers(0, 1 << 62)
+        assert a != b
+
+
+class TestTables:
+    def test_format_float(self):
+        assert format_value(1.23456) == "1.235"
+
+    def test_format_large_float_scientific(self):
+        assert "e" in format_value(1.5e9)
+
+    def test_format_tiny_float_scientific(self):
+        assert "e" in format_value(1.5e-9)
+
+    def test_format_nan_dash(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_format_large_int_grouped(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_format_bool_not_int(self):
+        assert format_value(True) == "True"
+
+    def test_render_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2], [10, 20]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_render_with_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_render_rejects_ragged_rows(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_kv(self):
+        text = render_kv("head", [("k", 1.5)])
+        assert "head" in text and "k: 1.500" in text

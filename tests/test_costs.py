@@ -1,0 +1,151 @@
+"""Tests for the CPU/GPU cost models and resource limits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    ModeledOutOfMemory,
+    ModeledOverflow,
+    ModeledTimeout,
+)
+from repro.costs.cpu import (
+    CpuCostModel,
+    OpCounters,
+    ThreadedCostResult,
+    balance_lpt,
+)
+from repro.costs.gpu import GpuCostModel, GpuRunStats
+from repro.costs.resources import ResourceLimits
+
+
+class TestOpCounters:
+    def test_merge(self):
+        a = OpCounters(recursive_calls=1, extensions=2, edge_checks=3)
+        b = OpCounters(recursive_calls=10, intersection_elements=5)
+        a.merge(b)
+        assert a.recursive_calls == 11
+        assert a.intersection_elements == 5
+        assert a.edge_checks == 3
+
+    def test_total_ops(self):
+        c = OpCounters(recursive_calls=1, extensions=2, edge_checks=3,
+                       intersection_elements=4, index_build_ops=5)
+        assert c.total_ops() == 15
+
+
+class TestCpuCostModel:
+    def test_zero_counters_zero_time(self):
+        assert CpuCostModel().seconds(OpCounters()) == 0.0
+
+    def test_time_scales_with_ops(self):
+        m = CpuCostModel()
+        small = m.seconds(OpCounters(extensions=100))
+        large = m.seconds(OpCounters(extensions=100_000))
+        assert large == pytest.approx(1000 * small)
+
+    def test_edge_check_grows_with_degree(self):
+        m = CpuCostModel()
+        c = OpCounters(edge_checks=1000)
+        assert m.seconds(c, avg_degree=256.0) > m.seconds(c, avg_degree=4.0)
+
+    def test_clock_scaling(self):
+        c = OpCounters(extensions=10_000)
+        slow = CpuCostModel(clock_ghz=1.0).seconds(c)
+        fast = CpuCostModel(clock_ghz=2.0).seconds(c)
+        assert slow == pytest.approx(2 * fast)
+
+
+class TestLptBalance:
+    def test_even_weights_balance(self):
+        loads = balance_lpt([1.0] * 8, 4)
+        assert loads == [2.0, 2.0, 2.0, 2.0]
+
+    def test_straggler_limits_balance(self):
+        loads = balance_lpt([100.0, 1.0, 1.0, 1.0], 4)
+        assert max(loads) == 100.0
+
+    def test_total_preserved(self):
+        weights = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0]
+        assert sum(balance_lpt(weights, 3)) == pytest.approx(sum(weights))
+
+    def test_threaded_result_speedup(self):
+        t = ThreadedCostResult(
+            num_threads=4,
+            per_thread_seconds=[1.0, 1.0, 1.0, 1.0],
+            sync_overhead_fraction=0.0,
+        )
+        assert t.seconds == 1.0
+        assert t.speedup_vs_serial == pytest.approx(4.0)
+
+    def test_sync_overhead_applied(self):
+        t = ThreadedCostResult(num_threads=2, per_thread_seconds=[1.0, 1.0],
+                               sync_overhead_fraction=0.1)
+        assert t.seconds == pytest.approx(1.1)
+
+    def test_empty_thread_result(self):
+        assert ThreadedCostResult(num_threads=2).seconds == 0.0
+
+
+class TestGpuModel:
+    def test_stage_roofline(self):
+        m = GpuCostModel(launch_overhead_s=0.0)
+        compute_bound = m.stage_seconds(1e12, 1.0)
+        memory_bound = m.stage_seconds(1.0, 1e12)
+        assert compute_bound > 0 and memory_bound > 0
+        tiny = m.stage_seconds(1.0, 1.0)
+        assert compute_bound > tiny and memory_bound > tiny
+
+    def test_launch_overhead_floor(self):
+        m = GpuCostModel()
+        assert m.stage_seconds(0, 0) == pytest.approx(m.launch_overhead_s)
+
+    def test_oom_check(self):
+        m = GpuCostModel(memory_bytes=1000)
+        with pytest.raises(ModeledOutOfMemory):
+            m.check_fit(2000, "test table")
+        m.check_fit(500, "fits")
+
+    def test_run_stats_accumulate(self):
+        m = GpuCostModel()
+        stats = GpuRunStats()
+        stats.add_stage(m, "a", 100, 200, 300)
+        stats.add_stage(m, "b", 10, 20, 30)
+        assert stats.peak_bytes == 300
+        assert len(stats.stages) == 2
+        assert stats.seconds == pytest.approx(
+            sum(t for _n, t in stats.stages)
+        )
+
+    def test_run_stats_oom_before_timing(self):
+        m = GpuCostModel(memory_bytes=100)
+        stats = GpuRunStats()
+        with pytest.raises(ModeledOutOfMemory):
+            stats.add_stage(m, "big", 1, 1, 1000)
+
+
+class TestResourceLimits:
+    def test_memory_verdict(self):
+        limits = ResourceLimits(host_memory_bytes=100)
+        with pytest.raises(ModeledOutOfMemory):
+            limits.check_memory(200, "x")
+        limits.check_memory(50, "x")
+
+    def test_time_verdict(self):
+        limits = ResourceLimits(time_limit_seconds=1.0)
+        with pytest.raises(ModeledTimeout):
+            limits.check_time(2.0, "x")
+        limits.check_time(0.5, "x")
+
+    def test_counter_verdict(self):
+        limits = ResourceLimits(counter_limit=1000)
+        with pytest.raises(ModeledOverflow):
+            limits.check_counter(2000, "x")
+        limits.check_counter(999, "x")
+
+    def test_default_scaling(self):
+        limits = ResourceLimits()
+        # 250 GB and 3 h scaled by 1/1000.
+        assert limits.host_memory_bytes == 250 * 1024 * 1024
+        assert limits.time_limit_seconds == pytest.approx(10.8)
+        assert limits.counter_limit == 2**31 - 1

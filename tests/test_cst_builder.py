@@ -1,0 +1,140 @@
+"""Tests for CST construction (Algorithm 1), including the soundness
+property of Theorem 1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.reference import reference_embeddings
+from repro.cst.builder import build_cst
+from repro.graph.generators import random_connected_query, random_labeled_graph
+from repro.host.cpu_matcher import cst_embeddings
+from repro.ldbc.queries import all_queries, get_query
+from repro.query.spanning_tree import build_bfs_tree
+
+
+class TestConstruction:
+    def test_candidates_have_matching_labels(self, micro_graph):
+        q = get_query("q1")
+        cst = build_cst(q.graph, micro_graph)
+        for u in range(q.graph.num_vertices):
+            want = q.graph.label(u)
+            for v in cst.candidates[u]:
+                assert micro_graph.label(int(v)) == want
+
+    def test_candidates_meet_degree_filter(self, micro_graph):
+        q = get_query("q6")
+        cst = build_cst(q.graph, micro_graph)
+        qg = cst.query
+        for u in range(qg.num_vertices):
+            for v in cst.candidates[u]:
+                assert micro_graph.degree(int(v)) >= qg.degree(u)
+
+    def test_candidate_edges_are_data_edges(self, micro_graph):
+        q = get_query("q2")
+        cst = build_cst(q.graph, micro_graph)
+        for (a, b), adj in cst.adjacency.items():
+            for i in range(adj.num_rows):
+                va = cst.vertex_at(a, i)
+                for j in adj.row(i)[:10]:
+                    vb = cst.vertex_at(b, int(j))
+                    assert micro_graph.has_edge(va, vb)
+
+    def test_explicit_root(self, micro_graph):
+        q = get_query("q0")
+        cst = build_cst(q.graph, micro_graph, root=2)
+        assert cst.tree.root == 2
+
+    def test_explicit_tree(self, micro_graph):
+        q = get_query("q0")
+        tree = build_bfs_tree(q.graph, 1)
+        cst = build_cst(q.graph, micro_graph, tree=tree)
+        assert cst.tree is tree
+
+    def test_conflicting_root_and_tree_rejected(self, micro_graph):
+        from repro.common.errors import CSTError
+        q = get_query("q0")
+        tree = build_bfs_tree(q.graph, 1)
+        with pytest.raises(CSTError):
+            build_cst(q.graph, micro_graph, root=0, tree=tree)
+
+    def test_tree_only_index(self, micro_graph):
+        q = get_query("q6")  # has three non-tree edges
+        cpi = build_cst(q.graph, micro_graph, include_non_tree=False)
+        assert cpi.tree_only
+        cpi.check_consistency()
+        tree_pairs = {
+            frozenset(e) for e in cpi.tree.tree_edges()
+        }
+        for a, b in cpi.adjacency:
+            assert frozenset((a, b)) in tree_pairs
+
+    def test_orphan_prune_only_shrinks(self, micro_graph):
+        q = get_query("q3")
+        pruned = build_cst(q.graph, micro_graph, prune_orphans=True)
+        unpruned = build_cst(q.graph, micro_graph, prune_orphans=False)
+        for u in range(q.graph.num_vertices):
+            assert set(pruned.candidates[u].tolist()) <= set(
+                unpruned.candidates[u].tolist()
+            )
+
+    def test_orphan_prune_preserves_soundness(self, micro_graph):
+        q = get_query("q3")
+        pruned = build_cst(q.graph, micro_graph, prune_orphans=True)
+        unpruned = build_cst(q.graph, micro_graph, prune_orphans=False)
+        assert sorted(cst_embeddings(pruned)) == sorted(
+            cst_embeddings(unpruned)
+        )
+
+    def test_empty_search_space(self):
+        # Query label absent from the data graph -> empty CST.
+        data = random_labeled_graph(30, 60, 2, seed=1)
+        from repro.graph.graph import Graph
+        q = Graph.from_edges(2, [(0, 1)], [7, 7])
+        cst = build_cst(q, data)
+        assert cst.is_empty()
+        assert cst_embeddings(cst) == []
+
+
+class TestTheorem1:
+    """Theorem 1: all embeddings are computable from the CST alone."""
+
+    def test_benchmark_queries_on_micro(self, micro_graph):
+        for q in all_queries():
+            cst = build_cst(q.graph, micro_graph)
+            got = sorted(cst_embeddings(cst))
+            want = sorted(reference_embeddings(q.graph, micro_graph))
+            assert got == want, q.name
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        data_seed=st.integers(0, 10_000),
+        query_seed=st.integers(0, 10_000),
+        qn=st.integers(3, 6),
+    )
+    def test_random_graphs_property(self, data_seed, query_seed, qn):
+        data = random_labeled_graph(40, 160, 3, seed=data_seed)
+        qm = min(qn * (qn - 1) // 2, qn + 2)
+        query = random_connected_query(qn, qm, 3, seed=query_seed)
+        cst = build_cst(query, data)
+        cst.check_consistency()
+        got = sorted(cst_embeddings(cst))
+        want = sorted(reference_embeddings(query, data))
+        assert got == want
+
+    @settings(max_examples=10, deadline=None)
+    @given(root=st.integers(0, 3), data_seed=st.integers(0, 100))
+    def test_soundness_independent_of_root(self, root, data_seed):
+        data = random_labeled_graph(35, 140, 3, seed=data_seed)
+        query = get_query("q0").graph  # 4 vertices
+        # Remap labels into the generated alphabet so candidates exist.
+        from repro.graph.graph import Graph
+        labels = [int(lab) % 3 for lab in query.labels]
+        query = Graph(query.indptr, query.indices, np.asarray(labels))
+        cst = build_cst(query, data, root=root)
+        got = sorted(cst_embeddings(cst))
+        want = sorted(reference_embeddings(query, data))
+        assert got == want

@@ -1,0 +1,252 @@
+"""Tests for CST partitioning (Algorithm 2), workload estimation, and
+refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.reference import count_reference_embeddings
+from repro.common.errors import PartitionError
+from repro.cst.builder import build_cst
+from repro.cst.partition import (
+    PartitionLimits,
+    partition_cst,
+    partition_to_list,
+)
+from repro.cst.refine import refine_cst
+from repro.cst.stats import CSTSummary, PartitionSetSummary
+from repro.cst.workload import (
+    candidate_weights,
+    estimate_workload,
+    exact_tree_embeddings,
+)
+from repro.graph.generators import random_connected_query, random_labeled_graph
+from repro.host.cpu_matcher import cst_embeddings
+from repro.ldbc.queries import all_queries, get_query
+from repro.query.ordering import path_based_order
+
+
+def make_cst(query_name, data):
+    q = get_query(query_name)
+    cst = build_cst(q.graph, data)
+    order = path_based_order(cst.tree, data)
+    return cst, order
+
+
+def tight_limits(cst) -> PartitionLimits:
+    return PartitionLimits(
+        max_bytes=max(512, cst.size_bytes() // 6),
+        max_degree=max(4, cst.max_candidate_degree() // 2),
+    )
+
+
+class TestWorkload:
+    def test_estimate_equals_exact(self, micro_graph):
+        for q in all_queries():
+            cst = build_cst(q.graph, micro_graph)
+            assert estimate_workload(cst) == float(exact_tree_embeddings(cst))
+
+    def test_workload_upper_bounds_embeddings(self, micro_graph):
+        for q in all_queries():
+            cst = build_cst(q.graph, micro_graph)
+            emb = count_reference_embeddings(q.graph, micro_graph)
+            assert estimate_workload(cst) >= emb
+
+    def test_workload_exact_for_tree_query(self, micro_graph):
+        from repro.graph.graph import Graph
+        from repro.ldbc.schema import Label
+        # PERSON - CITY - COUNTRY path: a tree query.
+        q = Graph.from_edges(
+            3, [(0, 1), (1, 2)],
+            [int(Label.PERSON), int(Label.CITY), int(Label.COUNTRY)],
+        )
+        cst = build_cst(q, micro_graph)
+        emb = count_reference_embeddings(q, micro_graph)
+        assert estimate_workload(cst) == float(emb)
+
+    def test_leaf_weights_are_one(self, micro_graph):
+        cst = build_cst(get_query("q0").graph, micro_graph)
+        weights = candidate_weights(cst)
+        for leaf in cst.tree.leaves():
+            assert np.all(weights[leaf] == 1.0)
+
+    def test_empty_cst_zero_workload(self):
+        from repro.graph.graph import Graph
+        data = random_labeled_graph(20, 40, 2, seed=0)
+        q = Graph.from_edges(2, [(0, 1)], [9, 9])
+        cst = build_cst(q, data)
+        assert estimate_workload(cst) == 0.0
+
+
+class TestPartition:
+    def test_fitting_cst_passes_through(self, micro_graph):
+        cst, order = make_cst("q0", micro_graph)
+        limits = PartitionLimits(
+            max_bytes=cst.size_bytes() + 10,
+            max_degree=cst.max_candidate_degree() + 1,
+        )
+        parts, stats = partition_to_list(cst, order, limits)
+        assert len(parts) == 1
+        assert stats.num_splits == 0
+
+    def test_partitions_satisfy_limits(self, micro_graph):
+        for name in ("q1", "q2", "q6"):
+            cst, order = make_cst(name, micro_graph)
+            limits = tight_limits(cst)
+            parts, _ = partition_to_list(cst, order, limits)
+            for part in parts:
+                assert limits.satisfied_by(part), name
+
+    def test_partitions_disjoint_and_complete(self, micro_graph):
+        for name in ("q0", "q2", "q5", "q7"):
+            cst, order = make_cst(name, micro_graph)
+            parts, _ = partition_to_list(cst, order, tight_limits(cst))
+            seen: set[tuple[int, ...]] = set()
+            for part in parts:
+                part.check_consistency()
+                for emb in cst_embeddings(part, order):
+                    assert emb not in seen, "partition overlap"
+                    seen.add(emb)
+            assert len(seen) == count_reference_embeddings(
+                get_query(name).graph, micro_graph
+            ), name
+
+    def test_fixed_k_policy(self, micro_graph):
+        cst, order = make_cst("q1", micro_graph)
+        limits = tight_limits(cst)
+        parts, stats = partition_to_list(cst, order, limits, k_policy=2)
+        assert all(limits.satisfied_by(p) for p in parts)
+        assert all(k == 2 for k in stats.split_factors)
+
+    def test_greedy_at_most_fixed2_partitions_or_close(self, micro_graph):
+        cst, order = make_cst("q6", micro_graph)
+        limits = tight_limits(cst)
+        greedy, _ = partition_to_list(cst, order, limits, k_policy="greedy")
+        fixed10, _ = partition_to_list(cst, order, limits, k_policy=10)
+        assert len(greedy) <= len(fixed10)
+
+    def test_bad_k_policy_rejected(self, micro_graph):
+        cst, order = make_cst("q0", micro_graph)
+        with pytest.raises(PartitionError):
+            partition_to_list(cst, order, tight_limits(cst), k_policy="bad")
+        with pytest.raises(PartitionError):
+            partition_to_list(cst, order, tight_limits(cst), k_policy=1)
+
+    def test_bad_order_rejected(self, micro_graph):
+        cst, order = make_cst("q0", micro_graph)
+        with pytest.raises(PartitionError, match="permutation"):
+            partition_to_list(cst, order[:-1], tight_limits(cst))
+
+    def test_max_partitions_guard(self, micro_graph):
+        cst, order = make_cst("q6", micro_graph)
+        with pytest.raises(PartitionError, match="partitions"):
+            partition_to_list(cst, order, tight_limits(cst),
+                              max_partitions=2)
+
+    def test_intercept_consumes_oversized(self, micro_graph):
+        cst, order = make_cst("q6", micro_graph)
+        limits = tight_limits(cst)
+        intercepted: list = []
+        parts: list = []
+        partition_cst(cst, order, limits, parts.append,
+                      intercept=lambda c: intercepted.append(c) or True)
+        # The first violating CST is consumed whole; nothing is split.
+        assert len(intercepted) == 1
+        assert parts == []
+
+    def test_intercept_false_proceeds(self, micro_graph):
+        cst, order = make_cst("q1", micro_graph)
+        limits = tight_limits(cst)
+        baseline, _ = partition_to_list(cst, order, limits)
+        parts: list = []
+        partition_cst(cst, order, limits, parts.append,
+                      intercept=lambda c: False)
+        assert len(parts) == len(baseline)
+
+    def test_stats_totals(self, micro_graph):
+        cst, order = make_cst("q2", micro_graph)
+        parts, stats = partition_to_list(cst, order, tight_limits(cst))
+        assert stats.num_partitions == len(parts)
+        assert stats.total_bytes == sum(p.size_bytes() for p in parts)
+        assert stats.max_recursion_depth >= 1
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        data_seed=st.integers(0, 3000),
+        query_seed=st.integers(0, 3000),
+        divisor=st.integers(3, 10),
+    )
+    def test_partition_property_random(self, data_seed, query_seed, divisor):
+        """Disjoint union of partition embeddings == whole embeddings."""
+        data = random_labeled_graph(40, 170, 3, seed=data_seed)
+        query = random_connected_query(5, 7, 3, seed=query_seed)
+        cst = build_cst(query, data)
+        if cst.is_empty():
+            return
+        order = path_based_order(cst.tree, data)
+        limits = PartitionLimits(
+            max_bytes=max(400, cst.size_bytes() // divisor),
+            max_degree=max(3, cst.max_candidate_degree() // 2),
+        )
+        parts, _ = partition_to_list(cst, order, limits)
+        whole = sorted(cst_embeddings(cst, order))
+        pieces = sorted(
+            emb for part in parts for emb in cst_embeddings(part, order)
+        )
+        assert pieces == whole
+
+
+class TestRefine:
+    def test_refine_preserves_embeddings(self, micro_graph):
+        for name in ("q1", "q3", "q6"):
+            cst = build_cst(get_query(name).graph, micro_graph)
+            refined, passes = refine_cst(cst)
+            assert passes >= 0
+            assert sorted(cst_embeddings(refined)) == sorted(
+                cst_embeddings(cst)
+            ), name
+
+    def test_refine_monotone_shrink(self, micro_graph):
+        cst = build_cst(get_query("q6").graph, micro_graph)
+        refined, _ = refine_cst(cst)
+        assert refined.size_bytes() <= cst.size_bytes()
+        for u in range(cst.query.num_vertices):
+            assert set(refined.candidates[u].tolist()) <= set(
+                cst.candidates[u].tolist()
+            )
+
+    def test_refine_reaches_fixpoint(self, micro_graph):
+        cst = build_cst(get_query("q2").graph, micro_graph)
+        refined, _ = refine_cst(cst)
+        again, passes = refine_cst(refined)
+        assert passes == 0
+        assert again.size_bytes() == refined.size_bytes()
+
+    def test_refined_consistency(self, micro_graph):
+        cst = build_cst(get_query("q8").graph, micro_graph)
+        refined, _ = refine_cst(cst)
+        refined.check_consistency()
+
+
+class TestStats:
+    def test_cst_summary(self, micro_graph):
+        cst = build_cst(get_query("q0").graph, micro_graph)
+        info = CSTSummary.of(cst)
+        assert info.size_bytes == cst.size_bytes()
+        assert info.workload == estimate_workload(cst)
+
+    def test_partition_set_summary(self, micro_graph):
+        cst, order = make_cst("q1", micro_graph)
+        parts, _ = partition_to_list(cst, order, tight_limits(cst))
+        info = PartitionSetSummary.of(parts)
+        assert info.num_partitions == len(parts)
+        assert info.total_bytes == sum(p.size_bytes() for p in parts)
+        assert info.size_ratio(info.total_bytes) == pytest.approx(1.0)
+
+    def test_empty_partition_set(self):
+        info = PartitionSetSummary.of([])
+        assert info.num_partitions == 0
+        assert info.size_ratio(100) == 0.0

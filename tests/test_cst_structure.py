@@ -1,0 +1,128 @@
+"""Tests for the CST data structure and CandidateAdjacency."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CSTError
+from repro.cst.builder import build_cst
+from repro.cst.structure import ENTRY_BYTES, CandidateAdjacency
+from repro.ldbc.queries import get_query
+
+
+def adjacency() -> CandidateAdjacency:
+    """Rows: 0 -> [1, 3]; 1 -> []; 2 -> [0]."""
+    return CandidateAdjacency.from_rows([
+        np.array([1, 3]), np.array([], dtype=np.int64), np.array([0]),
+    ])
+
+
+class TestCandidateAdjacency:
+    def test_from_rows(self):
+        adj = adjacency()
+        assert adj.num_rows == 3
+        assert list(adj.row(0)) == [1, 3]
+        assert adj.row_len(1) == 0
+        assert adj.num_entries() == 3
+
+    def test_contains(self):
+        adj = adjacency()
+        assert adj.contains(0, 3)
+        assert not adj.contains(0, 2)
+        assert not adj.contains(1, 0)
+
+    def test_contains_batch_matches_scalar(self):
+        adj = adjacency()
+        src = np.array([0, 0, 1, 2, 2])
+        dst = np.array([1, 2, 0, 0, 5])
+        expected = np.array(
+            [adj.contains(int(s), int(d)) for s, d in zip(src, dst)]
+        )
+        assert np.array_equal(adj.contains_batch(src, dst), expected)
+
+    def test_contains_batch_empty_inputs(self):
+        adj = adjacency()
+        assert len(adj.contains_batch(np.array([], dtype=np.int64),
+                                      np.array([], dtype=np.int64))) == 0
+
+    def test_contains_batch_empty_adjacency(self):
+        empty = CandidateAdjacency.from_rows([np.array([], dtype=np.int64)])
+        out = empty.contains_batch(np.array([0]), np.array([0]))
+        assert not out[0]
+
+    def test_max_row_len(self):
+        assert adjacency().max_row_len() == 2
+
+    def test_transpose(self):
+        adj = adjacency()
+        rev = adj.transpose(4)
+        assert rev.num_rows == 4
+        assert list(rev.row(0)) == [2]
+        assert list(rev.row(1)) == [0]
+        assert list(rev.row(2)) == []
+        assert list(rev.row(3)) == [0]
+
+    def test_double_transpose_identity(self):
+        adj = adjacency()
+        again = adj.transpose(4).transpose(3)
+        assert np.array_equal(again.indptr, adj.indptr)
+        assert np.array_equal(again.targets, adj.targets)
+
+    def test_bad_indptr_rejected(self):
+        with pytest.raises(CSTError):
+            CandidateAdjacency(np.array([0, 5]), np.array([1, 2]))
+
+
+class TestCSTMetrics:
+    @pytest.fixture(scope="class")
+    def cst(self, micro_graph):
+        return build_cst(get_query("q2").graph, micro_graph)
+
+    def test_consistency(self, cst):
+        cst.check_consistency()
+
+    def test_size_accounts_all_entries(self, cst):
+        offsets = sum(len(a.indptr) for a in cst.adjacency.values())
+        expected = ENTRY_BYTES * (
+            cst.total_candidates()
+            + cst.total_adjacency_entries()
+            + offsets
+        )
+        assert cst.size_bytes() == expected
+
+    def test_max_degree_is_max_row(self, cst):
+        assert cst.max_candidate_degree() == max(
+            a.max_row_len() for a in cst.adjacency.values()
+        )
+
+    def test_position_roundtrip(self, cst):
+        for u in range(cst.query.num_vertices):
+            if cst.candidate_count(u) == 0:
+                continue
+            v = cst.vertex_at(u, 0)
+            assert cst.position_of(u, v) == 0
+
+    def test_position_of_missing(self, cst):
+        assert cst.position_of(0, -5) == -1
+
+    def test_has_candidate_edge_symmetric(self, cst):
+        for (a, b), adj in cst.adjacency.items():
+            for i in range(min(5, adj.num_rows)):
+                for j in adj.row(i)[:5]:
+                    assert cst.has_candidate_edge(a, i, b, int(j))
+                    assert cst.has_candidate_edge(b, int(j), a, i)
+
+    def test_not_empty(self, cst):
+        assert not cst.is_empty()
+
+    def test_repr(self, cst):
+        assert "CST(" in repr(cst)
+
+    def test_adjacency_rows_sorted_and_in_range(self, cst):
+        for (a, b), adj in cst.adjacency.items():
+            nb = cst.candidate_count(b)
+            for i in range(adj.num_rows):
+                row = adj.row(i)
+                assert all(0 <= int(x) < nb for x in row)
+                assert list(row) == sorted(set(int(x) for x in row))

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script must run cleanly.
+
+Examples are the public face of the library; a refactor that breaks
+them should fail the suite, not a user.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "embeddings found" in out
+        assert "FPGA kernel" in out
+
+    def test_social_network_analysis(self):
+        out = run_example("social_network_analysis.py")
+        assert "most cohesive forums" in out
+        assert "friend cascades" in out
+
+    def test_device_tuning(self):
+        out = run_example("device_tuning.py")
+        assert "sweep: N_o" in out
+        assert "undersized device rejected" in out
+
+    def test_algorithm_comparison(self):
+        out = run_example("algorithm_comparison.py", "DG-MICRO", "q0")
+        assert "agree on the embedding count" in out
+
+    def test_extensions_demo(self):
+        out = run_example("extensions_demo.py")
+        assert "edge-labeled matching" in out
+        assert "directed matching" in out
+        assert "multi-FPGA scaling" in out
+
+    def test_paper_evaluation_quick_tier_starts(self):
+        # Only check the campaign header + first table to keep the
+        # suite fast; the full tier runs are exercised manually.
+        out = run_example("algorithm_comparison.py", "DG-MICRO", "q4")
+        assert "q4" in out

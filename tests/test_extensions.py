@@ -1,0 +1,200 @@
+"""Tests for edge-labeled/directed matching and failing-set pruning."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.matcher_core import run_backtracking
+from repro.common.errors import GraphError
+from repro.costs.cpu import OpCounters
+from repro.cst.builder import build_cst
+from repro.extensions.edge_labels import (
+    DirectedGraph,
+    LabeledEdgeGraph,
+    brute_force_directed,
+    brute_force_edge_labeled,
+    match_directed,
+    match_edge_labeled,
+    reduce_directed,
+    reduce_edge_labeled,
+)
+from repro.graph.validation import validate_graph
+from repro.ldbc.queries import get_query
+from repro.query.ordering import daf_style_order
+
+
+def labeled_triangle() -> LabeledEdgeGraph:
+    return LabeledEdgeGraph(
+        num_vertices=3,
+        vertex_labels=(0, 0, 1),
+        edges=((0, 1), (1, 2), (0, 2)),
+        edge_labels=(5, 6, 5),
+    )
+
+
+class TestReductions:
+    def test_edge_labeled_reduction_shape(self):
+        g = labeled_triangle()
+        red = reduce_edge_labeled(g, vertex_label_space=2)
+        validate_graph(red.graph)
+        assert red.graph.num_vertices == 3 + 3
+        assert red.graph.num_edges == 6
+        # Midpoint labels land above the vertex label space.
+        assert red.graph.label(3) == 2 + 5
+
+    def test_directed_reduction_shape(self):
+        g = DirectedGraph(3, (0, 1, 2), ((0, 1), (1, 2)))
+        red = reduce_directed(g, vertex_label_space=3)
+        validate_graph(red.graph)
+        assert red.graph.num_vertices == 3 + 4
+        assert red.graph.num_edges == 6
+
+    def test_label_space_guard(self):
+        g = labeled_triangle()
+        with pytest.raises(GraphError, match="label_space"):
+            reduce_edge_labeled(g, vertex_label_space=1)
+
+    def test_invalid_graphs_rejected(self):
+        with pytest.raises(GraphError):
+            LabeledEdgeGraph(2, (0, 0), ((0, 0),), (1,))
+        with pytest.raises(GraphError):
+            LabeledEdgeGraph(2, (0, 0), ((0, 1), (1, 0)), (1, 1))
+        with pytest.raises(GraphError):
+            DirectedGraph(2, (0, 0), ((0, 1), (0, 1)))
+        # Anti-parallel directed edges are allowed.
+        DirectedGraph(2, (0, 0), ((0, 1), (1, 0)))
+
+
+class TestEdgeLabeledMatching:
+    def test_edge_labels_constrain(self):
+        # Data: triangle with labels 5,6,5; query: one edge labeled 6.
+        data = labeled_triangle()
+        query = LabeledEdgeGraph(2, (0, 1), ((0, 1),), (6,))
+        got = match_edge_labeled(query, data)
+        assert got == brute_force_edge_labeled(query, data)
+        # Only the (1,2) data edge carries label 6.
+        assert got == [(1, 2)]
+
+    def test_no_match_on_wrong_edge_label(self):
+        data = labeled_triangle()
+        query = LabeledEdgeGraph(2, (0, 0), ((0, 1),), (9,))
+        assert match_edge_labeled(query, data) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 400))
+    def test_property_vs_brute_force(self, seed):
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(5, 10))
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        rng.shuffle(pairs)
+        m = int(rng.integers(n - 1, min(len(pairs), 2 * n)))
+        edges = tuple(pairs[:m])
+        data = LabeledEdgeGraph(
+            n,
+            tuple(int(x) for x in rng.integers(0, 2, n)),
+            edges,
+            tuple(int(x) for x in rng.integers(0, 2, m)),
+        )
+        query = LabeledEdgeGraph(
+            3,
+            tuple(int(x) for x in rng.integers(0, 2, 3)),
+            ((0, 1), (1, 2)),
+            tuple(int(x) for x in rng.integers(0, 2, 2)),
+        )
+        assert match_edge_labeled(query, data) == (
+            brute_force_edge_labeled(query, data)
+        )
+
+
+class TestDirectedMatching:
+    def test_direction_constrains(self):
+        # Data: 0 -> 1 -> 2 chain. Query: a -> b.
+        data = DirectedGraph(3, (0, 0, 0), ((0, 1), (1, 2)))
+        query = DirectedGraph(2, (0, 0), ((0, 1),))
+        got = match_directed(query, data)
+        assert got == brute_force_directed(query, data)
+        assert got == [(0, 1), (1, 2)]  # not (1, 0) or (2, 1)
+
+    def test_directed_cycle_vs_path(self):
+        cycle = DirectedGraph(3, (0, 0, 0), ((0, 1), (1, 2), (2, 0)))
+        query = DirectedGraph(3, (0, 0, 0), ((0, 1), (1, 2), (2, 0)))
+        got = match_directed(query, cycle)
+        assert got == brute_force_directed(query, cycle)
+        assert len(got) == 3  # the three rotations
+
+    def test_antiparallel_edges(self):
+        data = DirectedGraph(2, (0, 0), ((0, 1), (1, 0)))
+        query = DirectedGraph(2, (0, 0), ((0, 1),))
+        got = match_directed(query, data)
+        assert got == [(0, 1), (1, 0)]
+
+    def test_edge_labels_on_directed(self):
+        data = DirectedGraph(3, (0, 0, 0), ((0, 1), (1, 2)),
+                             edge_labels=(7, 8))
+        query = DirectedGraph(2, (0, 0), ((0, 1),), edge_labels=(8,))
+        assert match_directed(query, data) == [(1, 2)]
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 400))
+    def test_property_vs_brute_force(self, seed):
+        import numpy as np
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 9))
+        pairs = [(i, j) for i in range(n) for j in range(n) if i != j]
+        rng.shuffle(pairs)
+        m = int(rng.integers(n, min(len(pairs), 3 * n)))
+        data = DirectedGraph(
+            n,
+            tuple(int(x) for x in rng.integers(0, 2, n)),
+            tuple(pairs[:m]),
+        )
+        query = DirectedGraph(
+            3,
+            tuple(int(x) for x in rng.integers(0, 2, 3)),
+            ((0, 1), (1, 2)),
+        )
+        assert match_directed(query, data) == (
+            brute_force_directed(query, data)
+        )
+
+
+class TestFailingSet:
+    def fixture(self, micro_graph, name):
+        q = get_query(name)
+        cst = build_cst(q.graph, micro_graph)
+        order = daf_style_order(q.graph, micro_graph)
+        return cst, order
+
+    @pytest.mark.parametrize("name", ["q0", "q2", "q3", "q6", "q7"])
+    def test_counts_unchanged(self, micro_graph, name):
+        cst, order = self.fixture(micro_graph, name)
+        plain = run_backtracking(cst, micro_graph, order, "intersect")
+        pruned = run_backtracking(cst, micro_graph, order, "intersect",
+                                  failing_set=True)
+        assert pruned.embeddings == plain.embeddings, name
+
+    def test_pruning_never_increases_work(self, micro_graph):
+        total_plain = OpCounters()
+        total_pruned = OpCounters()
+        for name in ("q0", "q2", "q3", "q6", "q7", "q8"):
+            cst, order = self.fixture(micro_graph, name)
+            total_plain.merge(
+                run_backtracking(cst, micro_graph, order,
+                                 "intersect").counters
+            )
+            total_pruned.merge(
+                run_backtracking(cst, micro_graph, order, "intersect",
+                                 failing_set=True).counters
+            )
+        assert total_pruned.extensions <= total_plain.extensions
+
+    def test_daf_flag_plumbed(self, micro_graph):
+        from repro.baselines.daf import Daf
+        q = get_query("q3")
+        base, _ = Daf().run(q.graph, micro_graph)
+        fs, _ = Daf(use_failing_set=True).run(q.graph, micro_graph)
+        assert base.embeddings == fs.embeddings
+        assert fs.counters.extensions <= base.counters.extensions

@@ -1,0 +1,205 @@
+"""Tests for the simulated device: config, pipeline calculus, FIFOs,
+and the analytical cycle equations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import DeviceError
+from repro.fpga.config import FpgaConfig
+from repro.fpga.cycles import (
+    l_basic,
+    l_sep,
+    l_serial,
+    l_task,
+    predicted_speedup_sep_over_task,
+    predicted_speedup_task_over_basic,
+)
+from repro.fpga.fifo import Fifo
+from repro.fpga.pipeline import (
+    chained,
+    overlapped,
+    pipelined_cycles,
+    serial_cycles,
+)
+from repro.query.query_graph import as_query
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        cfg = FpgaConfig()
+        assert cfg.clock_mhz == 300.0
+        assert cfg.dram_latency > cfg.bram_latency
+
+    def test_depth_sums(self):
+        cfg = FpgaConfig()
+        assert cfg.depth_front == cfg.l1 + cfg.l2 + cfg.l3 + cfg.l4
+        assert cfg.depth_tasks == cfg.l5 + cfg.l6
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(DeviceError):
+            FpgaConfig(clock_mhz=0)
+        with pytest.raises(DeviceError):
+            FpgaConfig(batch_size=0)
+        with pytest.raises(DeviceError):
+            FpgaConfig(dram_latency=0, bram_latency=1)
+        with pytest.raises(DeviceError):
+            FpgaConfig(max_ports=0)
+        with pytest.raises(DeviceError):
+            FpgaConfig(l3=0)
+
+    def test_buffer_sizing_follows_paper(self, queries):
+        cfg = FpgaConfig()
+        q = as_query(queries[0].graph)
+        n = q.num_vertices
+        assert cfg.buffer_bytes(q) == (n - 1) * cfg.batch_size * n * 4
+
+    def test_cst_budget_positive(self, queries):
+        cfg = FpgaConfig()
+        q = as_query(queries[0].graph)
+        assert cfg.cst_budget_bytes(q) > 0
+
+    def test_cst_budget_overflow_rejected(self, queries):
+        cfg = FpgaConfig(bram_bytes=1024)
+        q = as_query(queries[0].graph)
+        with pytest.raises(DeviceError, match="batch_size"):
+            cfg.cst_budget_bytes(q)
+
+    def test_partition_limits(self, queries):
+        cfg = FpgaConfig()
+        q = as_query(queries[0].graph)
+        limits = cfg.partition_limits(q)
+        assert limits.max_bytes == cfg.cst_budget_bytes(q)
+        assert limits.max_degree == cfg.max_ports
+
+    def test_time_conversion(self):
+        cfg = FpgaConfig(clock_mhz=300)
+        assert cfg.cycles_to_seconds(3e8) == pytest.approx(1.0)
+
+    def test_load_and_flush_cycles(self):
+        cfg = FpgaConfig()
+        assert cfg.load_cycles(0) == 0
+        assert cfg.load_cycles(1) == cfg.dram_latency + 1
+        assert cfg.flush_cycles(cfg.flush_bytes_per_cycle * 10) == (
+            cfg.dram_latency + 10
+        )
+
+    def test_pcie_seconds(self):
+        cfg = FpgaConfig(pcie_gbytes_per_sec=8.0)
+        assert cfg.pcie_seconds(8e9) == pytest.approx(1.0)
+
+
+class TestPipelineCalculus:
+    def test_pipelined_zero_iterations_free(self):
+        assert pipelined_cycles(0, 5) == 0
+
+    def test_pipelined_formula(self):
+        assert pipelined_cycles(100, 4) == 4 + 99 + 1
+
+    def test_pipelined_ii(self):
+        assert pipelined_cycles(10, 3, ii=2) == 3 + 18 + 1
+
+    def test_serial_formula(self):
+        assert serial_cycles(10, 7) == 70
+
+    def test_serial_slower_than_pipelined(self):
+        assert serial_cycles(1000, 5) > pipelined_cycles(1000, 5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DeviceError):
+            pipelined_cycles(-1, 3)
+        with pytest.raises(DeviceError):
+            pipelined_cycles(1, 0)
+        with pytest.raises(DeviceError):
+            serial_cycles(1, 0)
+
+    def test_overlapped_is_max(self):
+        assert overlapped(3, 9, 5) == 9
+        assert overlapped() == 0
+
+    def test_chained_is_sum(self):
+        assert chained(3, 9, 5) == 17
+
+
+class TestFifo:
+    def test_push_pop_order(self):
+        f = Fifo("t", 4)
+        f.push(1)
+        f.push(2)
+        assert f.pop() == 1
+        assert f.pop() == 2
+
+    def test_peak_tracking(self):
+        f = Fifo("t", 4)
+        for i in range(3):
+            f.push(i)
+        f.pop()
+        assert f.peak == 3
+        assert f.total_pushed == 3
+
+    def test_overflow_raises(self):
+        f = Fifo("t", 1)
+        f.push(1)
+        with pytest.raises(DeviceError, match="overflow"):
+            f.push(2)
+
+    def test_underflow_raises(self):
+        with pytest.raises(DeviceError, match="underflow"):
+            Fifo("t", 1).pop()
+
+    def test_drain(self):
+        f = Fifo("t", 4)
+        f.push(1)
+        f.push(2)
+        assert f.drain() == [1, 2]
+        assert f.is_empty
+
+    def test_bad_depth(self):
+        with pytest.raises(DeviceError):
+            Fifo("t", 0)
+
+
+class TestCycleEquations:
+    CFG = FpgaConfig()
+
+    def test_ordering_serial_basic_task_sep(self):
+        n, m = 100_000, 80_000
+        assert (
+            l_serial(self.CFG, n, m)
+            > l_basic(self.CFG, n, m)
+            > l_task(self.CFG, n, m)
+            > l_sep(self.CFG, n, m)
+        )
+
+    def test_zero_workload(self):
+        for fn in (l_serial, l_basic, l_task, l_sep):
+            assert fn(self.CFG, 0, 0) == 0.0
+
+    def test_task_speedup_capped_at_two(self):
+        for n, m in [(1000, 0), (1000, 1000), (1000, 5000), (1000, 400)]:
+            assert predicted_speedup_task_over_basic(n, m) <= 2.0 + 1e-9
+
+    def test_task_speedup_approaches_two_when_m_dominates(self):
+        assert predicted_speedup_task_over_basic(1, 10**9) == pytest.approx(
+            2.0, rel=1e-6
+        )
+
+    def test_sep_speedup_capped_at_1_5(self):
+        for n, m in [(1000, 0), (1000, 1000), (1000, 9000)]:
+            assert predicted_speedup_sep_over_task(n, m) <= 1.5 + 1e-9
+
+    def test_sep_speedup_is_1_5_when_m_equals_n(self):
+        assert predicted_speedup_sep_over_task(1000, 1000) == pytest.approx(
+            1.5
+        )
+
+    def test_eq2_shape(self):
+        # L_basic ~ 4N + 2M for N_o >> depths.
+        n, m = 10**6, 10**6
+        assert l_basic(self.CFG, n, m) == pytest.approx(
+            4 * n + 2 * m, rel=0.05
+        )
+
+    def test_speedup_one_on_empty(self):
+        assert predicted_speedup_task_over_basic(0, 0) == 1.0
+        assert predicted_speedup_sep_over_task(0, 0) == 1.0

@@ -1,0 +1,81 @@
+"""Tests for the on-chip resource estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fpga.config import FpgaConfig
+from repro.fpga.resources import (
+    U200_BRAM36,
+    ResourceEstimate,
+    estimate_resources,
+    resource_table,
+)
+from repro.ldbc.queries import get_query
+from repro.query.query_graph import as_query
+
+
+@pytest.fixture(scope="module")
+def query():
+    return as_query(get_query("q7").graph)
+
+
+class TestResourceEstimate:
+    def test_variant_logic_ordering(self, query):
+        cfg = FpgaConfig()
+        ests = {
+            v: estimate_resources(cfg, query, v)
+            for v in ("basic", "task", "sep")
+        }
+        # Each optimisation spends more logic: basic < task < sep.
+        assert ests["basic"].luts < ests["task"].luts < ests["sep"].luts
+        assert ests["basic"].fifos == 0
+        assert ests["sep"].fifos > ests["task"].fifos
+
+    def test_bram_independent_of_variant(self, query):
+        cfg = FpgaConfig()
+        blocks = {
+            estimate_resources(cfg, query, v).bram_blocks
+            for v in ("dram", "basic", "task", "sep")
+        }
+        assert len(blocks) == 1
+
+    def test_more_ports_more_logic_and_bram(self, query):
+        few = estimate_resources(FpgaConfig(max_ports=16), query)
+        many = estimate_resources(FpgaConfig(max_ports=128), query)
+        assert many.luts > few.luts
+        assert many.bram_blocks >= few.bram_blocks
+
+    def test_bigger_batch_more_fifo_lutram(self, query):
+        small = estimate_resources(FpgaConfig(batch_size=64), query, "sep")
+        large = estimate_resources(FpgaConfig(batch_size=2048), query,
+                                   "sep")
+        assert large.luts > small.luts
+
+    def test_default_config_fits_u200(self, query):
+        est = estimate_resources(FpgaConfig(), query, "sep")
+        assert est.fits_u200()
+
+    def test_oversized_config_overflows(self, query):
+        huge = FpgaConfig(bram_bytes=64 * 1024 * 1024, max_ports=256)
+        est = estimate_resources(huge, query, "sep")
+        assert est.bram_blocks > U200_BRAM36
+        assert not est.fits_u200()
+
+    def test_utilisation_fields(self, query):
+        est = estimate_resources(FpgaConfig(), query)
+        util = est.utilisation()
+        assert set(util) == {"bram", "lut", "ff"}
+        assert all(v > 0 for v in util.values())
+
+    def test_table_renders(self, query):
+        text = resource_table(FpgaConfig(), query)
+        assert "estimated U200 utilisation" in text
+        for variant in ("dram", "basic", "task", "sep"):
+            assert variant in text
+
+    def test_estimate_is_frozen(self, query):
+        est = estimate_resources(FpgaConfig(), query)
+        assert isinstance(est, ResourceEstimate)
+        with pytest.raises(AttributeError):
+            est.luts = 0

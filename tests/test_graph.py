@@ -1,0 +1,301 @@
+"""Tests for the CSR graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import GraphError
+from repro.graph.builder import GraphBuilder
+from repro.graph.generators import (
+    powerlaw_graph,
+    random_connected_query,
+    random_labeled_graph,
+    relabel_to_dense,
+    sample_edges,
+)
+from repro.graph.graph import Graph
+from repro.graph.validation import assert_same_vertex_labels, validate_graph
+
+
+def triangle_with_tail() -> Graph:
+    """0-1-2 triangle plus 2-3 tail; labels 0,1,1,2."""
+    return Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)],
+                            [0, 1, 1, 2])
+
+
+class TestGraphConstruction:
+    def test_counts(self):
+        g = triangle_with_tail()
+        assert g.num_vertices == 4
+        assert g.num_edges == 4
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError, match="self loop"):
+            Graph.from_edges(2, [(0, 0)], [0, 0])
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            Graph.from_edges(2, [(0, 1), (1, 0)], [0, 0])
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(GraphError, match="out of range"):
+            Graph.from_edges(2, [(0, 5)], [0, 0])
+
+    def test_rejects_label_count_mismatch(self):
+        with pytest.raises(GraphError, match="labels"):
+            Graph.from_edges(3, [(0, 1)], [0, 0])
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, [], [])
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree() == 0.0
+        assert g.max_degree() == 0
+
+    def test_edgeless_graph(self):
+        g = Graph.from_edges(3, [], [0, 1, 2])
+        assert g.num_edges == 0
+        assert g.degree(1) == 0
+        assert not g.is_connected()
+
+    def test_malformed_indptr_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(np.array([1, 2]), np.array([0, 1]), np.array([0]))
+
+
+class TestGraphAccessors:
+    def test_neighbors_sorted(self):
+        g = triangle_with_tail()
+        assert list(g.neighbors(2)) == [0, 1, 3]
+
+    def test_degree(self):
+        g = triangle_with_tail()
+        assert g.degree(2) == 3
+        assert g.degree(3) == 1
+
+    def test_has_edge_both_directions(self):
+        g = triangle_with_tail()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 3)
+
+    def test_has_edge_probes_lower_degree_side(self):
+        # Functional check: result identical whichever side is larger.
+        g = triangle_with_tail()
+        assert g.has_edge(3, 2) and g.has_edge(2, 3)
+
+    def test_edges_each_once(self):
+        g = triangle_with_tail()
+        assert sorted(g.edges()) == [(0, 1), (0, 2), (1, 2), (2, 3)]
+
+    def test_neighbor_set(self):
+        g = triangle_with_tail()
+        assert g.neighbor_set(2) == {0, 1, 3}
+
+    def test_label_index(self):
+        g = triangle_with_tail()
+        assert list(g.vertices_with_label(1)) == [1, 2]
+        assert list(g.vertices_with_label(99)) == []
+
+    def test_label_set_and_count(self):
+        g = triangle_with_tail()
+        assert g.label_set() == {0, 1, 2}
+        assert g.num_labels() == 3
+
+    def test_degree_stats(self):
+        g = triangle_with_tail()
+        assert g.average_degree() == pytest.approx(2.0)
+        assert g.max_degree() == 3
+
+    def test_memory_bytes_positive(self):
+        assert triangle_with_tail().memory_bytes() > 0
+
+    def test_equality(self):
+        assert triangle_with_tail() == triangle_with_tail()
+        other = Graph.from_edges(4, [(0, 1), (1, 2), (0, 2), (2, 3)],
+                                 [0, 1, 1, 3])
+        assert triangle_with_tail() != other
+
+    def test_connectivity(self):
+        assert triangle_with_tail().is_connected()
+        g = Graph.from_edges(4, [(0, 1), (2, 3)], [0] * 4)
+        assert not g.is_connected()
+
+    def test_induced_subgraph(self):
+        g = triangle_with_tail()
+        sub, old = g.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+        assert list(old) == [0, 1, 2]
+
+    def test_induced_subgraph_remaps_labels(self):
+        g = triangle_with_tail()
+        sub, old = g.induced_subgraph([2, 3])
+        assert sub.num_edges == 1
+        assert [sub.label(i) for i in range(2)] == [1, 2]
+
+    def test_induced_subgraph_rejects_bad_ids(self):
+        with pytest.raises(GraphError):
+            triangle_with_tail().induced_subgraph([0, 9])
+
+
+class TestBuilder:
+    def test_incremental_build(self):
+        b = GraphBuilder()
+        v0 = b.add_vertex(0)
+        v1 = b.add_vertex(1)
+        assert b.add_edge(v0, v1)
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.label(v1) == 1
+
+    def test_duplicate_edge_merged(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 0])
+        assert b.add_edge(0, 1)
+        assert not b.add_edge(1, 0)
+        assert b.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex(0)
+        with pytest.raises(GraphError):
+            b.add_edge(0, 0)
+
+    def test_edge_to_missing_vertex_rejected(self):
+        b = GraphBuilder()
+        b.add_vertex(0)
+        with pytest.raises(GraphError):
+            b.add_edge(0, 1)
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(GraphError):
+            GraphBuilder().add_vertex(-1)
+
+    def test_has_edge(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 1])
+        b.add_edge(0, 1)
+        assert b.has_edge(1, 0)
+
+    def test_built_graph_validates(self):
+        b = GraphBuilder()
+        b.add_vertices([0, 1, 2])
+        b.add_edge(0, 1)
+        b.add_edge(2, 1)
+        validate_graph(b.build())
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        validate_graph(triangle_with_tail())
+
+    def test_asymmetric_rejected(self):
+        g = triangle_with_tail()
+        bad = Graph(
+            np.array([0, 1, 1, 1, 1]),
+            np.array([1]),
+            np.array([0, 1, 1, 2]),
+        )
+        del g
+        with pytest.raises(GraphError, match="symmetric"):
+            validate_graph(bad)
+
+    def test_unsorted_adjacency_rejected(self):
+        bad = Graph(
+            np.array([0, 2, 3, 4]),
+            np.array([2, 1, 0, 0]),
+            np.array([0, 0, 0]),
+        )
+        with pytest.raises(GraphError, match="sorted"):
+            validate_graph(bad)
+
+    def test_same_labels_helper(self):
+        g = triangle_with_tail()
+        assert_same_vertex_labels(g, g)
+        other = Graph.from_edges(4, [], [9, 1, 1, 2])
+        with pytest.raises(GraphError):
+            assert_same_vertex_labels(g, other)
+
+
+class TestGenerators:
+    def test_random_graph_shape(self):
+        g = random_labeled_graph(40, 100, 4, seed=3)
+        assert g.num_vertices == 40
+        assert g.num_edges == 100
+        validate_graph(g)
+
+    def test_random_graph_deterministic(self):
+        a = random_labeled_graph(30, 60, 3, seed=9)
+        b = random_labeled_graph(30, 60, 3, seed=9)
+        assert a == b
+
+    def test_random_graph_seed_changes_result(self):
+        a = random_labeled_graph(30, 60, 3, seed=9)
+        b = random_labeled_graph(30, 60, 3, seed=10)
+        assert a != b
+
+    def test_connected_flag(self):
+        g = random_labeled_graph(50, 60, 3, seed=1, connected=True)
+        assert g.is_connected()
+
+    def test_connected_needs_enough_edges(self):
+        with pytest.raises(GraphError):
+            random_labeled_graph(10, 5, 2, seed=1, connected=True)
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(GraphError):
+            random_labeled_graph(4, 10, 2, seed=1)
+
+    def test_powerlaw_degrees_skewed(self):
+        g = powerlaw_graph(400, 3, 5, seed=2)
+        validate_graph(g)
+        assert g.max_degree() > 4 * g.average_degree()
+
+    def test_powerlaw_requires_enough_vertices(self):
+        with pytest.raises(GraphError):
+            powerlaw_graph(2, 3, 2, seed=1)
+
+    def test_sample_edges_fraction(self):
+        g = powerlaw_graph(200, 3, 5, seed=4)
+        s = sample_edges(g, 0.4, seed=5)
+        validate_graph(s)
+        assert s.num_vertices == g.num_vertices
+        assert abs(s.num_edges - 0.4 * g.num_edges) <= 1
+
+    def test_sample_edges_bounds(self):
+        g = powerlaw_graph(100, 2, 3, seed=4)
+        assert sample_edges(g, 0.0, seed=1).num_edges == 0
+        assert sample_edges(g, 1.0, seed=1).num_edges == g.num_edges
+        with pytest.raises(GraphError):
+            sample_edges(g, 1.5)
+
+    def test_sample_keeps_labels(self):
+        g = powerlaw_graph(100, 2, 3, seed=4)
+        s = sample_edges(g, 0.5, seed=1)
+        assert_same_vertex_labels(g, s)
+
+    def test_random_connected_query(self):
+        q = random_connected_query(6, 8, 3, seed=7)
+        assert q.is_connected()
+
+    def test_relabel_to_dense(self):
+        g = Graph.from_edges(3, [(0, 1)], [5, 9, 5])
+        dense, mapping = relabel_to_dense(g)
+        assert dense.label_set() == {0, 1}
+        assert mapping == {5: 0, 9: 1}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(4, 40),
+        density=st.floats(0.1, 0.8),
+        labels=st.integers(1, 5),
+        seed=st.integers(0, 1000),
+    )
+    def test_generated_graphs_always_valid(self, n, density, labels, seed):
+        m = int(density * n * (n - 1) / 2)
+        g = random_labeled_graph(n, m, labels, seed=seed)
+        validate_graph(g)
+        assert g.num_edges == m

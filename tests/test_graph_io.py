@@ -1,0 +1,70 @@
+"""Tests for graph serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import GraphError
+from repro.graph.generators import random_labeled_graph
+from repro.graph.io import load_npz, load_text, save_npz, save_text
+
+
+@pytest.fixture()
+def graph():
+    return random_labeled_graph(25, 60, 4, seed=42)
+
+
+class TestTextFormat:
+    def test_roundtrip(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_text(graph, path)
+        assert load_text(path) == graph
+
+    def test_header_written(self, graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_text(graph, path)
+        first = path.read_text().splitlines()[0]
+        assert first == f"t {graph.num_vertices} {graph.num_edges}"
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\nv 0 1\nv 1 2\ne 0 1\n")
+        g = load_text(path)
+        assert g.num_vertices == 2 and g.num_edges == 1
+
+    def test_unknown_record_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("x 0 1\n")
+        with pytest.raises(GraphError, match="unknown record"):
+            load_text(path)
+
+    def test_malformed_vertex_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("v 0\n")
+        with pytest.raises(GraphError, match="malformed vertex"):
+            load_text(path)
+
+    def test_non_dense_ids_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("v 0 1\nv 2 1\n")
+        with pytest.raises(GraphError, match="dense"):
+            load_text(path)
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert load_npz(path) == graph
+
+    def test_roundtrip_with_check(self, graph, tmp_path):
+        path = tmp_path / "g.npz"
+        save_npz(graph, path)
+        assert load_npz(path, check=True) == graph
+
+    def test_formats_agree(self, graph, tmp_path):
+        t = tmp_path / "g.txt"
+        n = tmp_path / "g.npz"
+        save_text(graph, t)
+        save_npz(graph, n)
+        assert load_text(t) == load_npz(n)

@@ -1,0 +1,231 @@
+"""Tests for the host side: CPU matcher, scheduler, PCIe, runtime."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.reference import (
+    count_reference_embeddings,
+    reference_embeddings,
+)
+from repro.common.errors import DeviceError, SchedulerError
+from repro.cst.builder import build_cst
+from repro.cst.workload import estimate_workload
+from repro.fpga.config import FpgaConfig
+from repro.graph.generators import random_connected_query, random_labeled_graph
+from repro.host.cpu_matcher import (
+    CpuMatchCounters,
+    count_cst_embeddings,
+    cst_embeddings,
+)
+from repro.host.pcie import TRANSFER_LATENCY_S, PcieLink
+from repro.host.runtime import RUNNER_VARIANTS, FastRunner
+from repro.host.scheduler import WorkloadScheduler
+from repro.ldbc.queries import all_queries, get_query
+from repro.query.ordering import random_connected_order
+
+
+class TestCpuMatcher:
+    def test_matches_reference(self, micro_graph):
+        for q in all_queries():
+            cst = build_cst(q.graph, micro_graph)
+            assert count_cst_embeddings(cst) == count_reference_embeddings(
+                q.graph, micro_graph
+            ), q.name
+
+    def test_results_equal_reference_set(self, micro_graph):
+        q = get_query("q3")
+        cst = build_cst(q.graph, micro_graph)
+        assert sorted(cst_embeddings(cst)) == sorted(
+            reference_embeddings(q.graph, micro_graph)
+        )
+
+    def test_arbitrary_orders(self, micro_graph):
+        q = get_query("q2")
+        cst = build_cst(q.graph, micro_graph)
+        ref = count_cst_embeddings(cst)
+        for seed in range(4):
+            order = random_connected_order(q.graph, seed=seed)
+            assert count_cst_embeddings(cst, order) == ref
+
+    def test_limit(self, micro_graph):
+        q = get_query("q0")
+        cst = build_cst(q.graph, micro_graph)
+        assert len(cst_embeddings(cst, limit=5)) == 5
+
+    def test_counters_populated(self, micro_graph):
+        q = get_query("q2")
+        cst = build_cst(q.graph, micro_graph)
+        counters = CpuMatchCounters()
+        n = count_cst_embeddings(cst, counters=counters)
+        assert counters.embeddings == n
+        assert counters.recursive_calls > 0
+        assert counters.edge_checks > 0
+
+    def test_counters_merge(self):
+        a = CpuMatchCounters(recursive_calls=1, embeddings=2)
+        b = CpuMatchCounters(recursive_calls=3, edge_checks=4)
+        a.merge(b)
+        assert a.recursive_calls == 4
+        assert a.edge_checks == 4
+        assert a.embeddings == 2
+
+
+class TestScheduler:
+    def test_delta_zero_all_fpga(self, micro_graph):
+        sched = WorkloadScheduler(delta=0.0)
+        cst = build_cst(get_query("q0").graph, micro_graph)
+        for _ in range(5):
+            assert sched.assign(cst) == "fpga"
+        assert sched.cpu_csts == 0
+
+    def test_first_cst_always_fpga(self, micro_graph):
+        # Algorithm 3: (W_C + W) / (W) = 1 >= delta for delta < 1.
+        sched = WorkloadScheduler(delta=0.5)
+        cst = build_cst(get_query("q0").graph, micro_graph)
+        assert sched.assign(cst) == "fpga"
+
+    def test_cpu_fraction_respects_delta(self, micro_graph):
+        sched = WorkloadScheduler(delta=0.2)
+        cst = build_cst(get_query("q0").graph, micro_graph)
+        w = estimate_workload(cst)
+        for _ in range(50):
+            sched.assign(cst, workload=w)
+        assert sched.cpu_fraction < 0.2
+        assert sched.cpu_csts > 0
+
+    def test_workload_override_used(self):
+        sched = WorkloadScheduler(delta=0.4)
+        sched.assign(None, workload=100.0)   # -> fpga
+        assert sched.w_fpga == 100.0
+        sched.assign(None, workload=10.0)    # 10/110 < 0.4 -> cpu
+        assert sched.w_cpu == 10.0
+
+    def test_invalid_delta_rejected(self):
+        with pytest.raises(SchedulerError):
+            WorkloadScheduler(delta=1.0)
+        with pytest.raises(SchedulerError):
+            WorkloadScheduler(delta=-0.1)
+
+    def test_decisions_logged(self):
+        sched = WorkloadScheduler(delta=0.3)
+        sched.assign(None, workload=10.0)
+        assert sched.decisions == [("fpga", 10.0)]
+
+
+class TestPcie:
+    def test_transfer_accounting(self):
+        link = PcieLink(FpgaConfig(pcie_gbytes_per_sec=1.0))
+        t = link.send_to_card(1_000_000_000)
+        assert t == pytest.approx(TRANSFER_LATENCY_S + 1.0)
+        link.fetch_from_card(500)
+        assert link.transfers == 2
+        assert link.bytes_to_card == 1_000_000_000
+        assert link.bytes_from_card == 500
+        assert link.total_seconds > t
+
+    def test_log_records(self):
+        link = PcieLink(FpgaConfig())
+        link.send_to_card(10, what="cst")
+        assert link.log == [("to_card:cst", 10)]
+
+
+class TestRuntime:
+    def test_all_variants_exact(self, micro_graph):
+        for q in all_queries():
+            ref = count_reference_embeddings(q.graph, micro_graph)
+            for variant in RUNNER_VARIANTS:
+                result = FastRunner(variant=variant).run(
+                    q.graph, micro_graph
+                )
+                assert result.embeddings == ref, (q.name, variant)
+
+    def test_collect_results(self, micro_graph):
+        q = get_query("q1")
+        result = FastRunner(variant="share").run(
+            q.graph, micro_graph, collect_results=True
+        )
+        assert sorted(result.results) == sorted(
+            reference_embeddings(q.graph, micro_graph)
+        )
+
+    def test_collect_results_dram(self, micro_graph):
+        q = get_query("q0")
+        result = FastRunner(variant="dram").run(
+            q.graph, micro_graph, collect_results=True
+        )
+        assert sorted(result.results) == sorted(
+            reference_embeddings(q.graph, micro_graph)
+        )
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(DeviceError):
+            FastRunner(variant="hyper")
+
+    def test_components_sum_sensibly(self, micro_graph):
+        result = FastRunner(variant="sep").run(
+            get_query("q2").graph, micro_graph
+        )
+        assert result.total_seconds >= result.build_seconds
+        assert result.total_seconds >= result.kernel_seconds
+        assert result.build_seconds > 0
+        assert result.kernel_seconds > 0
+
+    def test_share_uses_cpu_under_tight_device(
+        self, micro_graph, tight_fpga_config
+    ):
+        result = FastRunner(
+            config=tight_fpga_config, variant="share", delta=0.2
+        ).run(get_query("q6").graph, micro_graph)
+        assert result.num_cpu_csts > 0
+        assert result.cpu_workload_fraction <= 0.2
+        assert result.embeddings == count_reference_embeddings(
+            get_query("q6").graph, micro_graph
+        )
+
+    def test_share_exact_under_tight_device(
+        self, micro_graph, tight_fpga_config
+    ):
+        for name in ("q1", "q5", "q8"):
+            q = get_query(name)
+            result = FastRunner(
+                config=tight_fpga_config, variant="share", delta=0.15
+            ).run(q.graph, micro_graph, collect_results=True)
+            assert sorted(result.results) == sorted(
+                reference_embeddings(q.graph, micro_graph)
+            ), name
+
+    def test_explicit_order_used(self, micro_graph):
+        q = get_query("q2")
+        order = random_connected_order(q.graph, seed=1)
+        result = FastRunner(variant="sep").run(
+            q.graph, micro_graph, order=order
+        )
+        assert result.order == order
+        assert result.embeddings == count_reference_embeddings(
+            q.graph, micro_graph
+        )
+
+    def test_dram_does_not_partition(self, micro_graph):
+        result = FastRunner(variant="dram").run(
+            get_query("q1").graph, micro_graph
+        )
+        assert result.num_partitions == 1
+        assert result.partition_seconds == 0.0
+
+    def test_summary_keys(self, micro_graph):
+        result = FastRunner().run(get_query("q0").graph, micro_graph)
+        assert {"variant", "embeddings", "seconds", "partitions"} <= set(
+            result.summary()
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), variant=st.sampled_from(
+        ["basic", "sep", "share"]))
+    def test_runtime_property_random(self, seed, variant):
+        data = random_labeled_graph(30, 120, 3, seed=seed)
+        query = random_connected_query(4, 5, 3, seed=seed + 13)
+        result = FastRunner(variant=variant).run(query, data)
+        assert result.embeddings == count_reference_embeddings(query, data)

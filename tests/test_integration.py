@@ -1,0 +1,85 @@
+"""End-to-end integration tests: every matching system in the repo must
+produce the identical embedding set on shared workloads."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.ceci import Ceci
+from repro.baselines.cfl import CflMatch
+from repro.baselines.daf import Daf
+from repro.baselines.gpsm import GpSM
+from repro.baselines.gsi import Gsi
+from repro.baselines.reference import count_reference_embeddings
+from repro.costs.gpu import GpuCostModel
+from repro.cst.builder import build_cst
+from repro.fpga.engine import FastEngine
+from repro.graph.generators import random_connected_query, random_labeled_graph
+from repro.host.cpu_matcher import count_cst_embeddings
+from repro.host.runtime import FastRunner
+from repro.ldbc.datasets import load_dataset
+from repro.ldbc.queries import all_queries
+
+
+BIG_GPU = GpuCostModel(memory_bytes=1 << 40)
+
+
+def all_counts(query, data) -> dict[str, int]:
+    """Embedding count from every system (failures excluded)."""
+    out = {"reference": count_reference_embeddings(query, data)}
+    out["cst_matcher"] = count_cst_embeddings(build_cst(query, data))
+    out["fast_engine"] = FastEngine().run(
+        build_cst(query, data)
+    ).embeddings
+    out["fast_runtime"] = FastRunner().run(query, data).embeddings
+    cfl = CflMatch().run(query, data)
+    if cfl.ok:
+        out["cfl"] = cfl.embeddings
+    daf, _ = Daf().run(query, data)
+    if daf.ok:
+        out["daf"] = daf.embeddings
+    ceci, _ = Ceci().run(query, data)
+    if ceci.ok:
+        out["ceci"] = ceci.embeddings
+    gpsm = GpSM(gpu=BIG_GPU).run(query, data)
+    if gpsm.ok:
+        out["gpsm"] = gpsm.embeddings
+    gsi = Gsi(gpu=BIG_GPU).run(query, data)
+    if gsi.ok:
+        out["gsi"] = gsi.embeddings
+    return out
+
+
+class TestCrossSystemAgreement:
+    def test_benchmark_queries_on_micro(self, micro_graph):
+        for q in all_queries():
+            counts = all_counts(q.graph, micro_graph)
+            assert len(set(counts.values())) == 1, (q.name, counts)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        data_seed=st.integers(0, 5000),
+        query_seed=st.integers(0, 5000),
+    )
+    def test_random_workloads_property(self, data_seed, query_seed):
+        data = random_labeled_graph(32, 130, 3, seed=data_seed)
+        query = random_connected_query(5, 7, 3, seed=query_seed)
+        counts = all_counts(query, data)
+        assert len(set(counts.values())) == 1, counts
+
+
+@pytest.mark.slow
+class TestMiniScale:
+    """Heavier cross-checks on the ~1.2K-vertex dataset."""
+
+    def test_agreement_on_mini(self):
+        data = load_dataset("DG-MINI", use_cache=False).graph
+        for q in all_queries():
+            ref = count_reference_embeddings(q.graph, data)
+            fast = FastRunner().run(q.graph, data).embeddings
+            ceci, _ = Ceci().run(q.graph, data)
+            assert fast == ref, q.name
+            if ceci.ok:
+                assert ceci.embeddings == ref, q.name

@@ -1,0 +1,192 @@
+"""Tests for the LDBC-SNB-like substrate: schema, generator, datasets,
+queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import ExperimentError, GraphError, QueryError
+from repro.graph.validation import validate_graph
+from repro.ldbc.datasets import (
+    DATASET_SCALES,
+    MICRO_SCALES,
+    dataset_names,
+    load_dataset,
+    load_scale,
+)
+from repro.ldbc.generator import LdbcGenerator, LdbcParams
+from repro.ldbc.queries import QUERY_NAMES, all_queries, get_query
+from repro.ldbc.schema import (
+    EDGE_FAMILIES,
+    LABEL_NAMES,
+    NUM_LABELS,
+    Label,
+    allowed_label_pairs,
+)
+
+
+class TestSchema:
+    def test_eleven_labels(self):
+        assert NUM_LABELS == 11
+        assert len(LABEL_NAMES) == 11
+
+    def test_labels_dense(self):
+        assert sorted(int(lab) for lab in Label) == list(range(11))
+
+    def test_edge_families_reference_valid_labels(self):
+        for fam in EDGE_FAMILIES:
+            assert isinstance(fam.src, Label)
+            assert isinstance(fam.dst, Label)
+
+    def test_allowed_pairs_canonical(self):
+        for a, b in allowed_label_pairs():
+            assert a <= b
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = LdbcGenerator(seed=3).generate(0.1)
+        b = LdbcGenerator(seed=3).generate(0.1)
+        assert a.graph == b.graph
+
+    def test_seed_changes_graph(self):
+        a = LdbcGenerator(seed=3).generate(0.1)
+        b = LdbcGenerator(seed=4).generate(0.1)
+        assert a.graph != b.graph
+
+    def test_structure_valid(self, micro_dataset):
+        validate_graph(micro_dataset.graph)
+
+    def test_all_labels_present(self, micro_dataset):
+        assert micro_dataset.graph.num_labels() == NUM_LABELS
+
+    def test_ranges_partition_vertices(self, micro_dataset):
+        spans = sorted(
+            (r.start, r.stop) for r in micro_dataset.ranges.values()
+        )
+        cursor = 0
+        for start, stop in spans:
+            assert start == cursor
+            cursor = stop
+        assert cursor == micro_dataset.graph.num_vertices
+
+    def test_ranges_carry_correct_labels(self, micro_dataset):
+        g = micro_dataset.graph
+        for label, span in micro_dataset.ranges.items():
+            for v in (span.start, span.stop - 1):
+                assert g.label(v) == int(label)
+
+    def test_edges_respect_schema(self, micro_dataset):
+        g = micro_dataset.graph
+        allowed = allowed_label_pairs()
+        for u, v in g.edges():
+            pair = (min(g.label(u), g.label(v)),
+                    max(g.label(u), g.label(v)))
+            assert pair in allowed, f"edge ({u},{v}) labels {pair}"
+
+    def test_scale_grows_graph(self):
+        gen = LdbcGenerator()
+        small = gen.generate(0.1)
+        large = gen.generate(0.3)
+        assert large.graph.num_vertices > small.graph.num_vertices
+        assert large.graph.num_edges > small.graph.num_edges
+
+    def test_degree_skew(self, mini_dataset):
+        g = mini_dataset.graph
+        assert g.max_degree() > 8 * g.average_degree()
+
+    def test_sf1_matches_paper_shape(self):
+        info = LdbcGenerator().generate(1.0).summary()
+        # Paper DG01 divided by 1000: 3.18K vertices, 17.24K edges.
+        assert 2500 <= info["num_vertices"] <= 4500
+        assert 12000 <= info["num_edges"] <= 22000
+        assert 8.0 <= info["avg_degree"] <= 13.0
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(GraphError):
+            LdbcGenerator().generate(0)
+
+    def test_custom_params(self):
+        params = LdbcParams(persons_per_sf=50, comments_per_sf=100,
+                            posts_per_sf=60, forums_per_sf=20)
+        d = LdbcGenerator(params=params, seed=1).generate(1.0)
+        assert len(d.vertices_of(Label.PERSON)) == 50
+
+    def test_summary_fields(self, micro_dataset):
+        info = micro_dataset.summary()
+        assert set(info) == {"name", "num_vertices", "num_edges",
+                             "avg_degree", "max_degree", "num_labels"}
+
+
+class TestDatasets:
+    def test_registry_names(self):
+        assert dataset_names() == ["DG01", "DG03", "DG10", "DG60"]
+        assert DATASET_SCALES["DG60"] == 60.0
+        assert "DG-MICRO" in MICRO_SCALES
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown dataset"):
+            load_dataset("DG-HUGE")
+
+    def test_cache_roundtrip(self, tmp_path):
+        fresh = load_dataset("DG-MICRO", cache_dir=tmp_path)
+        cached = load_dataset("DG-MICRO", cache_dir=tmp_path)
+        assert fresh.graph == cached.graph
+        assert fresh.ranges == cached.ranges
+
+    def test_cache_writes_file(self, tmp_path):
+        load_dataset("DG-MICRO", cache_dir=tmp_path)
+        assert list(tmp_path.glob("DG-MICRO-*.npz"))
+
+    def test_load_scale_known_name(self, tmp_path):
+        d = load_scale(0.1, cache_dir=tmp_path)
+        assert d.name == "DG-MICRO"
+
+    def test_load_scale_custom(self, tmp_path):
+        d = load_scale(0.2, cache_dir=tmp_path)
+        assert d.name == "DG0.2"
+        again = load_scale(0.2, cache_dir=tmp_path)
+        assert d.graph == again.graph
+
+
+class TestQueries:
+    def test_nine_queries(self):
+        assert len(QUERY_NAMES) == 9
+        assert QUERY_NAMES == tuple(f"q{i}" for i in range(9))
+
+    def test_lookup(self):
+        q = get_query("q3")
+        assert q.name == "q3"
+
+    def test_unknown_query_rejected(self):
+        with pytest.raises(QueryError, match="unknown query"):
+            get_query("q99")
+
+    def test_queries_connected_and_simple(self):
+        for q in all_queries():
+            assert q.graph.is_connected()
+            validate_graph(q.graph)
+
+    def test_queries_use_schema_labels(self):
+        for q in all_queries():
+            assert q.graph.label_set() <= set(range(NUM_LABELS))
+
+    def test_query_sizes_match_paper_regime(self):
+        for q in all_queries():
+            assert 4 <= q.num_vertices <= 8
+
+    def test_density_spread(self):
+        """The set must span sparse and dense regimes (Figs. 11-12)."""
+        extra = {
+            q.name: q.num_edges - (q.num_vertices - 1)
+            for q in all_queries()
+        }
+        assert max(extra.values()) >= 3      # a dense query exists
+        assert min(extra.values()) >= 1      # every query has a cycle
+
+    def test_queries_have_embeddings_on_micro(self, micro_graph):
+        from repro.baselines.reference import count_reference_embeddings
+        for q in all_queries():
+            assert count_reference_embeddings(q.graph, micro_graph) > 0, (
+                f"{q.name} has no embeddings on DG-MICRO"
+            )

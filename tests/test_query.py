@@ -1,0 +1,214 @@
+"""Tests for query graphs, spanning trees, and matching orders."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import QueryError
+from repro.graph.generators import random_connected_query, random_labeled_graph
+from repro.graph.graph import Graph
+from repro.ldbc.queries import all_queries
+from repro.query.ordering import (
+    all_connected_orders,
+    ceci_style_order,
+    cfl_style_order,
+    daf_style_order,
+    initial_candidate_counts,
+    is_connected_order,
+    path_based_order,
+    random_connected_order,
+    tree_compatible_order,
+    validate_order,
+)
+from repro.query.query_graph import MAX_QUERY_VERTICES, QueryGraph, as_query
+from repro.query.spanning_tree import build_bfs_tree, choose_root
+
+
+def square_query() -> Graph:
+    """4-cycle with a chord: 0-1-2-3-0 plus 0-2."""
+    return Graph.from_edges(
+        4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)], [0, 1, 0, 1]
+    )
+
+
+class TestQueryGraph:
+    def test_wraps_and_validates(self):
+        q = QueryGraph(square_query())
+        assert q.num_vertices == 4
+        assert q.num_edges == 5
+
+    def test_rejects_disconnected(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)], [0] * 4)
+        with pytest.raises(QueryError, match="connected"):
+            QueryGraph(g)
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            QueryGraph(Graph.from_edges(0, [], []))
+
+    def test_rejects_oversized(self):
+        n = MAX_QUERY_VERTICES + 1
+        edges = [(i, i + 1) for i in range(n - 1)]
+        with pytest.raises(QueryError, match="limit"):
+            QueryGraph(Graph.from_edges(n, edges, [0] * n))
+
+    def test_accessors(self):
+        q = QueryGraph(square_query())
+        assert q.neighbors(0) == (1, 2, 3)
+        assert q.degree(0) == 3
+        assert q.has_edge(0, 2)
+        assert not q.has_edge(1, 3)
+        assert (0, 2) in q.edges()
+
+    def test_as_query_idempotent(self):
+        q = QueryGraph(square_query())
+        assert as_query(q) is q
+        assert isinstance(as_query(square_query()), QueryGraph)
+
+
+class TestSpanningTree:
+    def test_bfs_structure(self):
+        t = build_bfs_tree(square_query(), root=0)
+        assert t.root == 0
+        assert t.parent[0] == -1
+        assert t.bfs_order[0] == 0
+        assert set(t.bfs_order) == {0, 1, 2, 3}
+
+    def test_depths_consistent(self):
+        t = build_bfs_tree(square_query(), root=0)
+        for u in t.bfs_order[1:]:
+            assert t.depth[u] == t.depth[t.parent[u]] + 1
+
+    def test_tree_plus_non_tree_covers_query(self):
+        q = as_query(square_query())
+        t = build_bfs_tree(q, root=0)
+        covered = {frozenset(e) for e in t.tree_edges()} | {
+            frozenset(e) for e in t.non_tree_edges
+        }
+        assert covered == {frozenset(e) for e in q.edges()}
+
+    def test_non_tree_orientation_bfs_first(self):
+        t = build_bfs_tree(square_query(), root=0)
+        rank = {u: i for i, u in enumerate(t.bfs_order)}
+        for a, b in t.non_tree_edges:
+            assert rank[a] < rank[b]
+
+    def test_non_tree_neighbors(self):
+        t = build_bfs_tree(square_query(), root=0)
+        for a, b in t.non_tree_edges:
+            assert b in t.non_tree_neighbors(a)
+            assert a in t.non_tree_neighbors(b)
+
+    def test_leaves_and_paths(self):
+        t = build_bfs_tree(square_query(), root=0)
+        paths = t.root_to_leaf_paths()
+        assert all(p[0] == 0 for p in paths)
+        assert {p[-1] for p in paths} == set(t.leaves())
+
+    def test_is_ancestor(self):
+        t = build_bfs_tree(square_query(), root=0)
+        assert t.is_ancestor(0, 3)
+        assert t.is_ancestor(2, 2)
+
+    def test_invalid_root_rejected(self):
+        with pytest.raises(QueryError):
+            build_bfs_tree(square_query(), root=9)
+
+    def test_choose_root_prefers_selective(self, micro_graph):
+        # Root should minimise filtered-candidates / degree.
+        for q in all_queries():
+            root = choose_root(q.graph, micro_graph)
+            counts = initial_candidate_counts(q.graph, micro_graph)
+            qg = as_query(q.graph)
+            score = counts[root] / max(1, qg.degree(root))
+            best = min(
+                counts[u] / max(1, qg.degree(u))
+                for u in range(qg.num_vertices)
+            )
+            assert score == pytest.approx(best)
+
+
+class TestOrders:
+    @pytest.fixture(scope="class")
+    def data(self, micro_graph):
+        return micro_graph
+
+    def test_is_connected_order(self):
+        q = square_query()
+        assert is_connected_order(q, (0, 1, 2, 3))
+        assert not is_connected_order(q, (1, 3, 0, 2))
+        assert not is_connected_order(q, (0, 1, 2))
+        assert not is_connected_order(q, (0, 1, 1, 2))
+
+    def test_validate_order_raises(self):
+        with pytest.raises(QueryError):
+            validate_order(square_query(), (1, 3, 0, 2))
+
+    def test_all_heuristics_produce_connected_orders(self, data):
+        for q in all_queries():
+            tree = build_bfs_tree(q.graph, choose_root(q.graph, data))
+            for order in (
+                path_based_order(tree, data),
+                cfl_style_order(q.graph, data),
+                daf_style_order(q.graph, data),
+                ceci_style_order(q.graph, data),
+            ):
+                assert is_connected_order(q.graph, order)
+
+    def test_path_based_covers_all_vertices(self, data):
+        for q in all_queries():
+            tree = build_bfs_tree(q.graph, choose_root(q.graph, data))
+            order = path_based_order(tree, data)
+            assert sorted(order) == list(range(q.num_vertices))
+            assert order[0] == tree.root
+
+    def test_tree_compatible_order_respects_parents(self, data):
+        for q in all_queries():
+            tree = build_bfs_tree(q.graph, choose_root(q.graph, data))
+            order = tree_compatible_order(tree, key=lambda u: u)
+            rank = {u: i for i, u in enumerate(order)}
+            for u in tree.bfs_order[1:]:
+                assert rank[tree.parent[u]] < rank[u]
+
+    def test_random_orders_deterministic_by_seed(self):
+        q = square_query()
+        assert random_connected_order(q, seed=5) == random_connected_order(
+            q, seed=5
+        )
+
+    def test_random_orders_vary(self):
+        q = square_query()
+        orders = {random_connected_order(q, seed=s) for s in range(20)}
+        assert len(orders) > 1
+
+    def test_all_connected_orders_small(self):
+        q = Graph.from_edges(3, [(0, 1), (1, 2)], [0, 1, 2])
+        orders = all_connected_orders(q)
+        assert set(orders) == {(0, 1, 2), (1, 0, 2), (1, 2, 0), (2, 1, 0)}
+
+    def test_all_connected_orders_all_valid(self):
+        for order in all_connected_orders(square_query()):
+            assert is_connected_order(square_query(), order)
+
+    def test_all_connected_orders_size_cap(self):
+        n = 12
+        edges = [(i, i + 1) for i in range(n - 1)]
+        g = Graph.from_edges(n, edges, [0] * n)
+        with pytest.raises(QueryError, match="10-vertex"):
+            all_connected_orders(g)
+
+    def test_initial_candidate_counts(self, data):
+        q = all_queries()[0]
+        counts = initial_candidate_counts(q.graph, data)
+        assert len(counts) == q.num_vertices
+        assert all(c >= 0 for c in counts)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 500), n=st.integers(3, 9))
+    def test_random_connected_orders_property(self, seed, n):
+        m = min(n * (n - 1) // 2, n + 2)
+        q = random_connected_query(n, m, 3, seed=seed)
+        order = random_connected_order(q, seed=seed)
+        assert is_connected_order(q, order)

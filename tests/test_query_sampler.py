@@ -1,0 +1,75 @@
+"""Tests for the query sampler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.reference import count_reference_embeddings
+from repro.common.errors import QueryError
+from repro.graph.generators import random_labeled_graph
+from repro.graph.validation import validate_graph
+from repro.host.runtime import FastRunner
+from repro.query.sampler import SAMPLER_METHODS, sample_queries, sample_query
+
+
+class TestSampler:
+    @pytest.mark.parametrize("method", SAMPLER_METHODS)
+    def test_sampled_query_shape(self, micro_graph, method):
+        q = sample_query(micro_graph, 5, seed=3, method=method)
+        validate_graph(q)
+        assert q.num_vertices == 5
+        assert q.is_connected()
+
+    @pytest.mark.parametrize("method", SAMPLER_METHODS)
+    def test_sampled_query_has_embeddings(self, micro_graph, method):
+        for seed in range(5):
+            q = sample_query(micro_graph, 4, seed=seed, method=method)
+            assert count_reference_embeddings(q, micro_graph) >= 1, (
+                method, seed,
+            )
+
+    def test_labels_come_from_data(self, micro_graph):
+        q = sample_query(micro_graph, 6, seed=1)
+        assert q.label_set() <= micro_graph.label_set()
+
+    def test_deterministic(self, micro_graph):
+        a = sample_query(micro_graph, 5, seed=9)
+        b = sample_query(micro_graph, 5, seed=9)
+        assert a == b
+
+    def test_seeds_vary(self, micro_graph):
+        qs = {sample_query(micro_graph, 5, seed=s).num_edges
+              for s in range(10)}
+        # Not every sample is identical.
+        samples = [sample_query(micro_graph, 5, seed=s) for s in range(6)]
+        assert any(samples[0] != other for other in samples[1:])
+        del qs
+
+    def test_sample_queries_batch(self, micro_graph):
+        queries = sample_queries(micro_graph, 4, 4, seed=2)
+        assert len(queries) == 4
+        for q in queries:
+            assert q.is_connected()
+
+    def test_invalid_parameters(self, micro_graph):
+        with pytest.raises(QueryError):
+            sample_query(micro_graph, 0)
+        with pytest.raises(QueryError):
+            sample_query(micro_graph, micro_graph.num_vertices + 1)
+        with pytest.raises(QueryError, match="sampler"):
+            sample_query(micro_graph, 4, method="teleport")
+
+    def test_single_vertex_sample(self, micro_graph):
+        q = sample_query(micro_graph, 1, seed=0)
+        assert q.num_vertices == 1
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 500), size=st.integers(3, 6))
+    def test_fast_finds_sampled_queries_property(self, seed, size):
+        data = random_labeled_graph(60, 200, 3, seed=seed, connected=True)
+        q = sample_query(data, size, seed=seed)
+        result = FastRunner(variant="sep").run(q, data)
+        assert result.embeddings >= 1
+        assert result.embeddings == count_reference_embeddings(q, data)
