@@ -12,17 +12,23 @@ from conftest import run_once
 
 from repro.common.tables import render_table
 from repro.fpga.config import FpgaConfig
-from repro.host.multi_fpga import MultiFpgaRunner
 from repro.ldbc.queries import get_query
+from repro.runtime.context import RunContext
+from repro.runtime.registry import REGISTRY
 
 
 def sweep_devices(data, device_counts=(1, 2, 4, 8)):
     config = FpgaConfig(bram_bytes=48 * 1024, batch_size=64, max_ports=16)
+    # One context across the sweep: every device count reuses the same
+    # cached CST and partition list.
+    ctx = RunContext(fpga=config)
+    query = get_query("q8").graph
     rows = []
     makespans = {}
     for n in device_counts:
-        runner = MultiFpgaRunner(num_devices=n, config=config)
-        result = runner.run(get_query("q8").graph, data)
+        result = REGISTRY.run(
+            "multi-fpga", query, data, ctx=ctx, num_devices=n
+        ).raw
         makespans[n] = result.makespan_seconds
         rows.append([
             n,

@@ -24,3 +24,8 @@ def test_fig13_peak_near_paper(benchmark, stress_config):
     # ...and the CPU drags at large delta.
     best = max(accel.values())
     assert accel[0.3] < best
+    # The delta sweep re-runs the pipeline over one (graph, query) set,
+    # so the shared stage cache must absorb most CST builds.
+    cst_cache = res.raw["cache"]["cst"]
+    print(f"CST cache hit rate: {cst_cache['hit_rate']:.0%}")
+    assert cst_cache["hit_rate"] >= 0.5

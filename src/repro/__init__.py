@@ -17,6 +17,10 @@ Yang, Qin, Peng) on a cycle-approximate simulated FPGA:
   matcher, and the end-to-end :class:`~repro.host.runtime.FastRunner`;
 * :mod:`repro.baselines` - CFL-Match, DAF, CECI (1/8 threads), GpSM
   and GSI, instrumented for the modeled-time comparison;
+* :mod:`repro.runtime` - the staged execution pipeline (plan, build
+  CST, partition, schedule, execute, merge), the :class:`RunContext`
+  carrying config plus per-stage metrics, and the
+  :class:`BackendRegistry` every entry point dispatches through;
 * :mod:`repro.experiments` - drivers regenerating every table and
   figure of the paper's evaluation.
 
@@ -73,6 +77,15 @@ from repro.query import (
     sample_queries,
     sample_query,
 )
+from repro.runtime import (
+    REGISTRY,
+    BackendRegistry,
+    BackendSpec,
+    RunContext,
+    RunMetrics,
+    RunOutcome,
+    StageCache,
+)
 
 __version__ = "1.0.0"
 
@@ -81,6 +94,8 @@ __all__ = [
     "Ceci",
     "CflMatch",
     "Daf",
+    "BackendRegistry",
+    "BackendSpec",
     "FastEngine",
     "FastRunResult",
     "FastRunner",
@@ -97,6 +112,11 @@ __all__ = [
     "ParallelDaf",
     "PartitionLimits",
     "QueryGraph",
+    "REGISTRY",
+    "RunContext",
+    "RunMetrics",
+    "RunOutcome",
+    "StageCache",
     "WorkloadScheduler",
     "__version__",
     "all_queries",

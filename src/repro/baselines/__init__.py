@@ -1,4 +1,11 @@
-"""Baseline algorithms: reference matcher, CPU baselines, GPU baselines."""
+"""Baseline algorithms: reference matcher, CPU baselines, GPU baselines.
+
+Besides the algorithm classes, this package owns the canonical
+construction recipe for each baseline (:data:`BASELINE_FACTORIES` /
+:func:`make_baseline`), which the backend registry in
+:mod:`repro.runtime.registry` consumes; nothing outside this package
+needs to know which baseline takes which cost model.
+"""
 
 from repro.baselines.ceci import Ceci
 from repro.baselines.cfl import CflMatch
@@ -27,7 +34,53 @@ from repro.baselines.reference import (
 )
 from repro.baselines.result import BaselineResult
 
+#: Canonical constructors, keyed by the registry backend name. CPU
+#: algorithms take the op-count cost model; GPU algorithms only the
+#: resource limits (their timing comes from the V100 roofline model).
+BASELINE_FACTORIES = {
+    "cfl": lambda cost_model, limits: CflMatch(
+        cost_model=cost_model, limits=limits
+    ),
+    "daf": lambda cost_model, limits: Daf(
+        cost_model=cost_model, limits=limits
+    ),
+    "ceci": lambda cost_model, limits: Ceci(
+        cost_model=cost_model, limits=limits
+    ),
+    "daf-8": lambda cost_model, limits: ParallelDaf(
+        cost_model=cost_model, limits=limits
+    ),
+    "ceci-8": lambda cost_model, limits: ParallelCeci(
+        cost_model=cost_model, limits=limits
+    ),
+    "gpsm": lambda cost_model, limits: GpSM(limits=limits),
+    "gsi": lambda cost_model, limits: Gsi(limits=limits),
+}
+
+
+def make_baseline(name, cost_model=None, limits=None):
+    """Instantiate the named baseline with the campaign's models.
+
+    ``cost_model``/``limits`` default to each algorithm's own defaults
+    when ``None``.
+    """
+    from repro.common.errors import BackendError
+    from repro.costs.cpu import CpuCostModel
+    from repro.costs.resources import ResourceLimits
+
+    key = name.lower()
+    if key not in BASELINE_FACTORIES:
+        raise BackendError(
+            f"unknown baseline {name!r}; "
+            f"known: {sorted(BASELINE_FACTORIES)}"
+        )
+    return BASELINE_FACTORIES[key](
+        cost_model or CpuCostModel(), limits or ResourceLimits()
+    )
+
+
 __all__ = [
+    "BASELINE_FACTORIES",
     "BacktrackOutcome",
     "BaselineResult",
     "Ceci",
@@ -47,6 +100,7 @@ __all__ = [
     "execute_join_plan",
     "iter_reference_embeddings",
     "join_plan",
+    "make_baseline",
     "reference_embeddings",
     "run_backtracking",
 ]

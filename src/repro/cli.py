@@ -1,13 +1,17 @@
 """Command-line interface.
 
-Three subcommands mirror the common workflows::
+Four subcommands mirror the common workflows::
 
-    python -m repro match   --dataset DG-MINI --query q1 [--variant share]
-    python -m repro compare --dataset DG-MINI --query q2 [--algorithms ...]
-    python -m repro info    --dataset DG01
+    python -m repro match    --dataset DG-MINI --query q1 [--backend fast-share]
+    python -m repro compare  --dataset DG-MINI --query q2 [--algorithms ...]
+    python -m repro info     --dataset DG01
+    python -m repro backends
 
-``match`` runs the FAST pipeline, ``compare`` pits FAST against the
-baselines, ``info`` prints Table III-style dataset statistics.
+``match`` runs any registered backend on one query (``--variant`` is a
+shorthand for the five FAST variants), ``compare`` pits any set of
+registered backends against each other, ``info`` prints Table III-style
+dataset statistics, and ``backends`` lists every registered backend
+with its declared capabilities.
 """
 
 from __future__ import annotations
@@ -15,11 +19,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.common.errors import BackendError
 from repro.common.tables import render_kv, render_table
-from repro.experiments.harness import ALGORITHMS, HarnessConfig, make_runner
-from repro.host.runtime import RUNNER_VARIANTS, FastRunner
+from repro.experiments.harness import HarnessConfig, make_context
+from repro.host.runtime import RUNNER_VARIANTS, FastRunResult
 from repro.ldbc.datasets import DATASET_SCALES, MICRO_SCALES, load_dataset
 from repro.ldbc.queries import QUERY_NAMES, get_query
+from repro.runtime.registry import REGISTRY, RunOutcome
 
 _ALL_DATASETS = sorted({**DATASET_SCALES, **MICRO_SCALES})
 
@@ -31,69 +37,117 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    match = sub.add_parser("match", help="run FAST on one query")
+    match = sub.add_parser("match", help="run one backend on one query")
     match.add_argument("--dataset", default="DG-MINI",
                        choices=_ALL_DATASETS)
     match.add_argument("--query", default="q1", choices=list(QUERY_NAMES))
     match.add_argument("--variant", default="share",
-                       choices=list(RUNNER_VARIANTS))
+                       choices=list(RUNNER_VARIANTS),
+                       help="FAST variant shorthand (ignored when "
+                            "--backend is given)")
+    match.add_argument("--backend", default=None,
+                       help="any registered backend name "
+                            "(see `repro backends`)")
     match.add_argument("--delta", type=float, default=0.1,
                        help="CPU workload share threshold")
 
     compare = sub.add_parser("compare",
-                             help="FAST vs baselines on one query")
+                             help="registered backends on one query")
     compare.add_argument("--dataset", default="DG-MINI",
                          choices=_ALL_DATASETS)
     compare.add_argument("--query", default="q2",
                          choices=list(QUERY_NAMES))
     compare.add_argument("--algorithms", nargs="+",
                          default=["CFL", "DAF", "CECI", "FAST"],
-                         choices=list(ALGORITHMS))
+                         metavar="BACKEND",
+                         help="registered backend names or aliases")
 
     info = sub.add_parser("info", help="dataset statistics (Table III)")
     info.add_argument("--dataset", default="DG01", choices=_ALL_DATASETS)
+
+    sub.add_parser("backends",
+                   help="list registered backends and capabilities")
     return parser
 
 
+def _fast_rows(result: FastRunResult) -> list[tuple[str, object]]:
+    rows: list[tuple[str, object]] = [
+        ("embeddings", result.embeddings),
+        ("total_ms", result.total_seconds * 1e3),
+        ("build_ms", result.build_seconds * 1e3),
+        ("partition_ms", result.partition_seconds * 1e3),
+        ("pcie_ms", result.pcie_seconds * 1e3),
+        ("kernel_ms", result.kernel_seconds * 1e3),
+        ("cpu_share_ms", result.cpu_share_seconds * 1e3),
+        ("partitions", result.num_partitions),
+        ("cpu_csts", result.num_cpu_csts),
+        ("N (partials)", result.kernel_report.total_partials),
+        ("M (edge tasks)", result.kernel_report.total_edge_tasks),
+    ]
+    if result.metrics is not None:
+        cst = result.metrics.cache.get("cst", {})
+        rows.append((
+            "cst_cache",
+            f"{cst.get('hits', 0)} hits / {cst.get('misses', 0)} misses",
+        ))
+    return rows
+
+
+def _outcome_rows(out: RunOutcome) -> list[tuple[str, object]]:
+    rows: list[tuple[str, object]] = [
+        ("verdict", out.verdict),
+        ("embeddings", out.embeddings if out.ok else "-"),
+        ("time_ms", out.seconds * 1e3 if out.ok else "-"),
+    ]
+    for name, stage in out.metrics.get("stages", {}).items():
+        rows.append((
+            f"{name}_modeled_ms", stage.get("modeled_seconds", 0.0) * 1e3
+        ))
+    if out.detail:
+        rows.append(("detail", out.detail))
+    return rows
+
+
 def cmd_match(args: argparse.Namespace) -> int:
+    name = args.backend or f"fast-{args.variant}"
+    try:
+        spec = REGISTRY.get(name)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset)
     query = get_query(args.query)
-    runner = FastRunner(variant=args.variant, delta=args.delta)
-    result = runner.run(query.graph, dataset.graph)
+    ctx = make_context(HarnessConfig(delta=args.delta))
+    out = spec.run(ctx, query.graph, dataset.graph)
+    rows = (
+        _fast_rows(out.raw) if isinstance(out.raw, FastRunResult)
+        else _outcome_rows(out)
+    )
     print(render_kv(
-        f"FAST-{args.variant.upper()} {args.query} on {args.dataset}",
-        [
-            ("embeddings", result.embeddings),
-            ("total_ms", result.total_seconds * 1e3),
-            ("build_ms", result.build_seconds * 1e3),
-            ("partition_ms", result.partition_seconds * 1e3),
-            ("pcie_ms", result.pcie_seconds * 1e3),
-            ("kernel_ms", result.kernel_seconds * 1e3),
-            ("cpu_share_ms", result.cpu_share_seconds * 1e3),
-            ("partitions", result.num_partitions),
-            ("cpu_csts", result.num_cpu_csts),
-            ("N (partials)", result.kernel_report.total_partials),
-            ("M (edge tasks)", result.kernel_report.total_edge_tasks),
-        ],
+        f"{spec.name} {args.query} on {args.dataset}", rows
     ))
     return 0
 
 
 def cmd_compare(args: argparse.Namespace) -> int:
-    config = HarnessConfig()
+    try:
+        specs = [REGISTRY.get(name) for name in args.algorithms]
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    ctx = make_context(HarnessConfig())
     dataset = load_dataset(args.dataset)
     query = get_query(args.query)
     rows = []
     counts = set()
-    for name in args.algorithms:
-        verdict, seconds, embeddings = make_runner(name, config)(
-            query.graph, dataset.graph
-        )
-        if verdict == "OK":
-            counts.add(embeddings)
-            rows.append([name, f"{seconds * 1e3:.3f}", embeddings])
+    for name, spec in zip(args.algorithms, specs):
+        out = spec.run(ctx, query.graph, dataset.graph)
+        if out.ok:
+            counts.add(out.embeddings)
+            rows.append([name, f"{out.seconds * 1e3:.3f}",
+                         out.embeddings])
         else:
-            rows.append([name, verdict, "-"])
+            rows.append([name, out.verdict, "-"])
     print(render_table(
         ["algorithm", "time_ms", "embeddings"], rows,
         title=f"{args.query} on {args.dataset}",
@@ -112,12 +166,34 @@ def cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    rows = []
+    for spec in REGISTRY.specs():
+        caps = spec.capabilities()
+        rows.append([
+            spec.name,
+            spec.family,
+            spec.cost_domain,
+            "yes" if spec.needs_cst else "no",
+            "/".join(caps["verdicts"]),
+            ", ".join(spec.aliases),
+        ])
+    print(render_table(
+        ["backend", "family", "cost_domain", "needs_cst", "verdicts",
+         "aliases"],
+        rows,
+        title=f"{len(rows)} registered backends",
+    ))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
         "match": cmd_match,
         "compare": cmd_compare,
         "info": cmd_info,
+        "backends": cmd_backends,
     }[args.command]
     return handler(args)
 

@@ -49,6 +49,10 @@ class ExperimentError(ReproError):
     """An experiment driver received inconsistent parameters."""
 
 
+class BackendError(ReproError):
+    """A backend name failed to resolve or was registered twice."""
+
+
 class ResourceExhausted(ReproError):
     """Base class for modeled resource-exhaustion verdicts (OOM/INF)."""
 

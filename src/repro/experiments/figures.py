@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import statistics
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.common.tables import render_table
 from repro.cst.builder import build_cst
@@ -39,6 +39,7 @@ from repro.experiments.harness import (
     HarnessConfig,
     RunRow,
     check_agreement,
+    make_context,
     make_runner,
     resolve_datasets,
     resolve_queries,
@@ -46,8 +47,9 @@ from repro.experiments.harness import (
     tight_config,
 )
 from repro.graph.generators import sample_edges
-from repro.host.runtime import FastRunner
 from repro.ldbc.datasets import load_scale
+from repro.runtime.context import StageCache
+from repro.runtime.registry import REGISTRY
 from repro.query.ordering import (
     ceci_style_order,
     cfl_style_order,
@@ -233,11 +235,12 @@ def fig10_partition_time(
     out: list[list[object]] = []
     per_dataset: dict[str, list[float]] = {}
     totals: dict[str, tuple[float, int]] = {}
+    context = make_context(config)
     for dataset in resolve_datasets(dataset_names, config):
         for query in queries:
-            runner = FastRunner(config=config.fpga, variant="sep",
-                                cpu_cost_model=config.cpu_cost)
-            result = runner.run(query.graph, dataset.graph)
+            result = REGISTRY.run(
+                "fast-sep", query.graph, dataset.graph, ctx=context
+            ).raw
             if result.embeddings == 0:
                 continue
             per_embedding = result.partition_seconds / result.embeddings
@@ -354,35 +357,49 @@ def fig13_cpu_share(
     dataset_names = dataset_names or ["DG-MINI", "DG-SMALL"]
     queries = resolve_queries(query_names)
     out: list[list[object]] = []
-    raw: dict[str, dict[float, float]] = {}
+    raw: dict[str, object] = {}
+    # One stage cache spans the whole sweep: every (dataset, query)
+    # pair builds its CST once, and the per-delta contexts reuse it.
+    cache = StageCache(enabled=config.stage_cache)
+    base_ctx = make_context(config, cache=cache)
+    delta_ctxs = {
+        delta: make_context(replace(config, delta=delta), cache=cache)
+        for delta in deltas
+    }
     for dataset in resolve_datasets(dataset_names, config):
         base_times = {}
         for query in queries:
-            runner = FastRunner(config=config.fpga, variant="sep",
-                                cpu_cost_model=config.cpu_cost)
-            base_times[query.name] = runner.run(
-                query.graph, dataset.graph
-            ).total_seconds
+            base_times[query.name] = REGISTRY.run(
+                "fast-sep", query.graph, dataset.graph, ctx=base_ctx
+            ).seconds
         raw[dataset.name] = {}
         for delta in deltas:
             ratios = []
             for query in queries:
-                runner = FastRunner(
-                    config=config.fpga, variant="share", delta=delta,
-                    cpu_cost_model=config.cpu_cost,
-                )
-                t = runner.run(query.graph, dataset.graph).total_seconds
+                t = REGISTRY.run(
+                    "fast-share", query.graph, dataset.graph,
+                    ctx=delta_ctxs[delta],
+                ).seconds
                 base = base_times[query.name]
                 ratios.append(base / t if t > 0 else 1.0)
             avg = statistics.mean(ratios)
             raw[dataset.name][delta] = avg
             out.append([dataset.name, delta, avg])
+    cache_stats = cache.stats()
+    raw["cache"] = cache_stats
+    cst_stats = cache_stats.get("cst", {})
+    notes = (
+        "paper: biggest improvement near delta = 0.1; CPU becomes "
+        "the bottleneck past ~0.15 | CST cache: "
+        f"{cst_stats.get('hits', 0)} hits / "
+        f"{cst_stats.get('misses', 0)} misses "
+        f"(hit rate {cst_stats.get('hit_rate', 0.0):.0%})"
+    )
     return FigureResult(
         figure="Fig. 13: acceleration ratio varying delta",
         headers=["dataset", "delta", "avg_acceleration"],
         rows=out,
-        notes="paper: biggest improvement near delta = 0.1; CPU becomes "
-              "the bottleneck past ~0.15",
+        notes=notes,
         raw=raw,
     )
 
@@ -456,6 +473,7 @@ def fig15_matching_orders(
     queries = resolve_queries(query_names)
     out: list[list[object]] = []
     raw: dict[str, dict[str, float]] = {}
+    context = make_context(config)
     for query in queries:
         g = dataset.graph
         tree = build_bfs_tree(query.graph, choose_root(query.graph, g))
@@ -471,10 +489,9 @@ def fig15_matching_orders(
             )
         times: dict[str, float] = {}
         for label, order in orders.items():
-            runner = FastRunner(config=config.fpga, variant="sep",
-                                cpu_cost_model=config.cpu_cost)
-            result = runner.run(query.graph, g, order=order)
-            times[label] = result.total_seconds
+            times[label] = REGISTRY.run(
+                "fast-sep", query.graph, g, ctx=context, order=order
+            ).seconds
         raw[query.name] = times
         all_times = list(times.values())
         out.append([
@@ -513,12 +530,13 @@ def fig16_scale_factor(
     algorithms = algorithms or ["FAST"]
     out: list[list[object]] = []
     raw: dict[str, list[tuple[float, float, int]]] = {}
+    context = make_context(config)
     for sf in scale_factors:
         dataset = load_scale(sf, use_cache=config.use_cache,
                              seed=config.seed)
         for query in queries:
             for name in algorithms:
-                runner = make_runner(name, config)
+                runner = make_runner(name, config, context=context)
                 verdict, seconds, embeddings = runner(
                     query.graph, dataset.graph
                 )
@@ -558,15 +576,16 @@ def fig17_edge_sampling(
     queries = resolve_queries(query_names)
     out: list[list[object]] = []
     raw: dict[str, list[tuple[float, float]]] = {}
+    context = make_context(config)
     for fraction in fractions:
         graph = (
             base.graph if fraction >= 1.0
             else sample_edges(base.graph, fraction, seed=config.seed)
         )
         for query in queries:
-            runner = FastRunner(config=config.fpga, variant="sep",
-                                cpu_cost_model=config.cpu_cost)
-            result = runner.run(query.graph, graph)
+            result = REGISTRY.run(
+                "fast-sep", query.graph, graph, ctx=context
+            ).raw
             per_emb = (
                 result.total_seconds / result.embeddings
                 if result.embeddings else float("nan")

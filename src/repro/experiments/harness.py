@@ -1,9 +1,15 @@
 """Experiment harness.
 
-Provides the shared machinery the per-figure drivers build on: a
-uniform algorithm registry (every system evaluated in Section VII), a
-grid runner over datasets x queries x algorithms, and a uniform row
-format feeding the text reports in EXPERIMENTS.md.
+Provides the shared machinery the per-figure drivers build on: name
+resolution over the backend registry (every system evaluated in
+Section VII), a grid runner over datasets x queries x algorithms, and
+a uniform row format feeding the text reports in EXPERIMENTS.md.
+
+All algorithm dispatch goes through
+:data:`repro.runtime.registry.REGISTRY`; the harness owns no per-
+algorithm construction logic. A grid (and each figure driver) shares
+one :class:`~repro.runtime.context.RunContext`, so the CST/partition
+stage cache is reused across the sweep.
 
 All times are modeled seconds in one consistent domain (see DESIGN.md):
 FPGA variants from the cycle model at 300 MHz, CPU algorithms from
@@ -14,24 +20,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.baselines.ceci import Ceci
-from repro.baselines.cfl import CflMatch
-from repro.baselines.daf import Daf
-from repro.baselines.gpsm import GpSM
-from repro.baselines.gsi import Gsi
-from repro.baselines.parallel import ParallelCeci, ParallelDaf
-from repro.common.errors import ExperimentError
+from repro.common.errors import BackendError, ExperimentError
 from repro.common.tables import render_table
 from repro.costs.cpu import CpuCostModel
 from repro.costs.resources import ResourceLimits
 from repro.fpga.config import FpgaConfig
 from repro.graph.graph import Graph
-from repro.host.runtime import FastRunner
 from repro.ldbc.datasets import load_dataset
 from repro.ldbc.generator import LdbcDataset
 from repro.ldbc.queries import BenchmarkQuery, all_queries, get_query
+from repro.runtime.context import RunContext, StageCache
+from repro.runtime.registry import REGISTRY
 
-#: Algorithm names accepted by :func:`make_runner`.
+#: The paper's display names for the Section VII systems, resolvable
+#: by :func:`make_runner` (as is any registry name or alias).
 ALGORITHMS = (
     "FAST", "FAST-DRAM", "FAST-BASIC", "FAST-TASK", "FAST-SEP",
     "CFL", "DAF", "CECI", "DAF-8", "CECI-8", "GpSM", "GSI",
@@ -48,6 +50,9 @@ class HarnessConfig:
     delta: float = 0.1
     seed: int = 7
     use_cache: bool = True
+    #: Enable the stage-level CST/partition cache in contexts built
+    #: from this config (``use_cache`` governs the *dataset* cache).
+    stage_cache: bool = True
 
 
 def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
@@ -70,6 +75,7 @@ def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
         delta=base.delta,
         seed=base.seed,
         use_cache=base.use_cache,
+        stage_cache=base.stage_cache,
     )
 
 
@@ -93,55 +99,59 @@ class RunRow:
                 self.embeddings if self.verdict == "OK" else "-"]
 
 
-def make_runner(name: str, config: HarnessConfig):
-    """Instantiate the named algorithm; returns ``run(query, data)``
-    yielding a :class:`RunRow`-compatible triple."""
-    if name not in ALGORITHMS:
-        raise ExperimentError(
-            f"unknown algorithm {name!r}; known: {ALGORITHMS}"
-        )
+def make_context(
+    config: HarnessConfig | None = None,
+    cache: StageCache | None = None,
+) -> RunContext:
+    """A :class:`RunContext` mirroring one campaign's configuration.
 
-    if name.startswith("FAST"):
-        variant = {
-            "FAST": "share",
-            "FAST-DRAM": "dram",
-            "FAST-BASIC": "basic",
-            "FAST-TASK": "task",
-            "FAST-SEP": "sep",
-        }[name]
-        runner = FastRunner(
-            config=config.fpga, variant=variant, delta=config.delta,
-            cpu_cost_model=config.cpu_cost,
-        )
+    Pass an explicit ``cache`` to share CST/partition memoization
+    across contexts with different deltas (the Fig. 13 sweep).
+    """
+    config = config or HarnessConfig()
+    if cache is None:
+        # Explicit None check: an *empty* StageCache is falsy (it has
+        # __len__), and it must still be shared, not replaced.
+        cache = StageCache(enabled=config.stage_cache)
+    return RunContext(
+        fpga=config.fpga,
+        cpu_cost=config.cpu_cost,
+        limits=config.limits,
+        delta=config.delta,
+        seed=config.seed,
+        cache=cache,
+    )
 
-        def run_fast(query: Graph, data: Graph) -> tuple[str, float, int]:
-            result = runner.run(query, data)
-            return "OK", result.total_seconds, result.embeddings
 
-        return run_fast
+def resolve_backend(name: str):
+    """Registry lookup with the harness's error type."""
+    try:
+        return REGISTRY.get(name)
+    except BackendError as exc:
+        raise ExperimentError(str(exc)) from exc
 
-    kwargs = {"cost_model": config.cpu_cost, "limits": config.limits}
-    if name == "CFL":
-        algo = CflMatch(**kwargs)
-    elif name == "DAF":
-        algo = Daf(**kwargs)
-    elif name == "CECI":
-        algo = Ceci(**kwargs)
-    elif name == "DAF-8":
-        algo = ParallelDaf(**kwargs)
-    elif name == "CECI-8":
-        algo = ParallelCeci(**kwargs)
-    elif name == "GpSM":
-        algo = GpSM(limits=config.limits)
-    else:
-        algo = Gsi(limits=config.limits)
 
-    def run_baseline(query: Graph, data: Graph) -> tuple[str, float, int]:
-        out = algo.run(query, data)
-        result = out[0] if isinstance(out, tuple) else out
-        return result.verdict, result.seconds, result.embeddings
+def make_runner(
+    name: str,
+    config: HarnessConfig,
+    context: RunContext | None = None,
+):
+    """Resolve the named backend; returns ``run(query, data)`` yielding
+    a :class:`RunRow`-compatible ``(verdict, seconds, embeddings)``.
 
-    return run_baseline
+    ``name`` is any registered backend name or alias (``FAST``,
+    ``fast-share``, ``CECI-8``, ...). A shared ``context`` keeps the
+    stage cache warm across runners; without one, each runner gets its
+    own context built from ``config``.
+    """
+    spec = resolve_backend(name)
+    ctx = context if context is not None else make_context(config)
+
+    def run(query: Graph, data: Graph) -> tuple[str, float, int]:
+        out = spec.run(ctx, query, data)
+        return out.verdict, out.seconds, out.embeddings
+
+    return run
 
 
 def resolve_queries(
@@ -168,15 +178,22 @@ def run_grid(
     dataset_names: list[str],
     query_names: list[str] | None = None,
     config: HarnessConfig | None = None,
+    context: RunContext | None = None,
 ) -> list[RunRow]:
-    """Run every algorithm on every (dataset, query) pair."""
+    """Run every algorithm on every (dataset, query) pair.
+
+    One :class:`RunContext` spans the whole grid, so backends that
+    build CSTs share one cached CST per (dataset, query) pair.
+    """
     config = config or HarnessConfig()
     queries = resolve_queries(query_names)
+    if context is None:
+        context = make_context(config)
     rows: list[RunRow] = []
     for dataset in resolve_datasets(dataset_names, config):
         for query in queries:
             for name in algorithm_names:
-                runner = make_runner(name, config)
+                runner = make_runner(name, config, context=context)
                 verdict, seconds, embeddings = runner(
                     query.graph, dataset.graph
                 )

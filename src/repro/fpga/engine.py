@@ -177,41 +177,79 @@ class FastEngine:
 
         Stage composition follows Fig. 5: chained for serial designs,
         overlapped for dataflow designs. The shapes asymptotically
-        match Equations 2-4 (tested in the cycle-model tests).
+        match Equations 2-4 (tested in the cycle-model tests). Each
+        variant's composition lives in its own ``_cycles_*`` method,
+        resolved through :data:`_CYCLE_MODELS`.
         """
-        cfg = self.config
-        read = pipelined_cycles(n_pop, cfg.l1)
-        gen = pipelined_cycles(n_new, cfg.l2)
-        visited = pipelined_cycles(n_new, cfg.l3)
-        collect = pipelined_cycles(n_new, cfg.l4)
-        # T_n generation: the outer per-neighbour loop is not pipelined
-        # (Algorithm 5 line 10), each inner loop is.
-        tn_gen = sum(
-            pipelined_cycles(n_new, cfg.l5) for _ in range(checks)
+        stages = self._stage_cycles(n_pop, n_new, n_tasks, checks)
+        return self._CYCLE_MODELS[self.variant](
+            self, stages, n_pop, n_new, n_tasks
         )
-        tn_val = pipelined_cycles(n_tasks, cfg.l6)
 
-        if self.variant in ("dram", "basic"):
-            cycles = chained(read, gen, visited, collect, tn_gen, tn_val)
-            if self.variant == "dram":
-                gap = cfg.dram_latency - cfg.bram_latency
-                cycles += gap * (
-                    n_pop
-                    + cfg.dram_reads_per_partial * n_new
-                    + cfg.dram_reads_per_task * n_tasks
-                )
-            return cycles
-        if self.variant == "task":
-            # Phase A: generator loop 1 streams into the visited
-            # validator. Phase B: the same generator then emits t_n,
-            # overlapped with edge validation and collection.
-            phase_a = overlapped(chained(read, gen), visited)
-            phase_b = overlapped(tn_gen, tn_val, collect)
-            return chained(phase_a, phase_b)
-        # sep: duplicated generators let every module run concurrently.
-        return overlapped(
-            chained(read, gen), visited, tn_gen, tn_val, collect
+    def _stage_cycles(
+        self, n_pop: int, n_new: int, n_tasks: int, checks: int
+    ) -> dict[str, int]:
+        """Per-module pipeline fills shared by every variant."""
+        cfg = self.config
+        return {
+            "read": pipelined_cycles(n_pop, cfg.l1),
+            "gen": pipelined_cycles(n_new, cfg.l2),
+            "visited": pipelined_cycles(n_new, cfg.l3),
+            "collect": pipelined_cycles(n_new, cfg.l4),
+            # T_n generation: the outer per-neighbour loop is not
+            # pipelined (Algorithm 5 line 10), each inner loop is.
+            "tn_gen": sum(
+                pipelined_cycles(n_new, cfg.l5) for _ in range(checks)
+            ),
+            "tn_val": pipelined_cycles(n_tasks, cfg.l6),
+        }
+
+    def _cycles_basic(
+        self, s: dict[str, int], n_pop: int, n_new: int, n_tasks: int
+    ) -> int:
+        # Serial modules, CST in BRAM (Equation 2).
+        return chained(s["read"], s["gen"], s["visited"], s["collect"],
+                       s["tn_gen"], s["tn_val"])
+
+    def _cycles_dram(
+        self, s: dict[str, int], n_pop: int, n_new: int, n_tasks: int
+    ) -> int:
+        # Serial shape plus the DRAM/BRAM gap on every CST access.
+        cfg = self.config
+        gap = cfg.dram_latency - cfg.bram_latency
+        return self._cycles_basic(s, n_pop, n_new, n_tasks) + gap * (
+            n_pop
+            + cfg.dram_reads_per_partial * n_new
+            + cfg.dram_reads_per_task * n_tasks
         )
+
+    def _cycles_task(
+        self, s: dict[str, int], n_pop: int, n_new: int, n_tasks: int
+    ) -> int:
+        # Phase A: generator loop 1 streams into the visited
+        # validator. Phase B: the same generator then emits t_n,
+        # overlapped with edge validation and collection (Equation 3).
+        phase_a = overlapped(chained(s["read"], s["gen"]), s["visited"])
+        phase_b = overlapped(s["tn_gen"], s["tn_val"], s["collect"])
+        return chained(phase_a, phase_b)
+
+    def _cycles_sep(
+        self, s: dict[str, int], n_pop: int, n_new: int, n_tasks: int
+    ) -> int:
+        # Duplicated generators let every module run concurrently
+        # (Equation 4).
+        return overlapped(
+            chained(s["read"], s["gen"]), s["visited"], s["tn_gen"],
+            s["tn_val"], s["collect"],
+        )
+
+    #: Variant -> cycle-model method (keys match :data:`VARIANTS`).
+    _CYCLE_MODELS = {
+        "dram": _cycles_dram,
+        "basic": _cycles_basic,
+        "task": _cycles_task,
+        "sep": _cycles_sep,
+    }
 
 
 def _to_query_indexed(

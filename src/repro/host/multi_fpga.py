@@ -5,9 +5,12 @@ complete search space, FAST extends naturally to multiple FPGAs: "the
 CPU can assign the CST structure to the FPGA with the minimum total
 workload and collect final results after all the FPGAs complete their
 tasks". This module implements exactly that scheduler on top of the
-simulated device:
+simulated device, reusing the staged pipeline's ``plan`` and
+``build_cst`` stages (so a shared :class:`RunContext` lets multi-FPGA
+sweeps reuse cached CSTs):
 
-* partitions stream out of Algorithm 2 as usual;
+* partitions come out of Algorithm 2 as usual (memoized per
+  configuration in the context's stage cache);
 * each is assigned to the device with the least accumulated estimated
   workload (greedy min-load, the online analogue of LPT);
 * each device runs its own :class:`~repro.fpga.engine.FastEngine` and
@@ -20,20 +23,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import DeviceError
-from repro.costs.cpu import CpuCostModel, OpCounters
-from repro.cst.builder import build_cst
-from repro.cst.partition import partition_cst
-from repro.cst.structure import CST, ENTRY_BYTES
+from repro.costs.cpu import CpuCostModel
+from repro.cst.structure import ENTRY_BYTES
 from repro.cst.workload import estimate_workload
 from repro.fpga.config import FpgaConfig
 from repro.fpga.engine import FastEngine
-from repro.fpga.kernel import build_plan
 from repro.fpga.report import KernelReport
 from repro.graph.graph import Graph
 from repro.host.pcie import PcieLink
-from repro.query.ordering import path_based_order
-from repro.query.query_graph import QueryGraph, as_query
-from repro.query.spanning_tree import build_bfs_tree, choose_root
+from repro.query.query_graph import QueryGraph
+from repro.runtime.context import RunContext, RunMetrics
+from repro.runtime.stages import (
+    build_cst_stage,
+    cached_partition_list,
+    plan_stage,
+)
 
 
 @dataclass
@@ -63,6 +67,7 @@ class MultiFpgaResult:
     makespan_seconds: float
     devices: list[DeviceLoad]
     num_partitions: int
+    metrics: RunMetrics | None = None
 
     @property
     def load_imbalance(self) -> float:
@@ -89,10 +94,17 @@ class MultiFpgaRunner:
     variant: str = "sep"
     k_policy: int | str = "greedy"
     cpu_cost_model: CpuCostModel = field(default_factory=CpuCostModel)
+    #: Shared execution context (see :class:`FastRunner.context`).
+    context: RunContext | None = None
 
     def __post_init__(self) -> None:
         if self.num_devices < 1:
             raise DeviceError("need at least one device")
+
+    def _context(self) -> RunContext:
+        if self.context is not None:
+            return self.context
+        return RunContext(fpga=self.config, cpu_cost=self.cpu_cost_model)
 
     def run(
         self,
@@ -101,65 +113,83 @@ class MultiFpgaRunner:
         order: tuple[int, ...] | None = None,
     ) -> MultiFpgaResult:
         """Match ``query`` using min-workload assignment of partitions."""
-        q = as_query(query)
-        tree = build_bfs_tree(q, choose_root(q, data))
-        cst = build_cst(q, data, tree=tree)
-        if order is None:
-            order = path_based_order(tree, data)
-        plan = build_plan(q, order)
-        build_seconds = self._host_seconds(
-            cst.total_candidates() + cst.total_adjacency_entries(), data
-        )
+        ctx = self._context()
+        ctx.begin_run("multi-fpga")
 
-        engines = [
-            FastEngine(self.config, self.variant)
-            for _ in range(self.num_devices)
-        ]
-        links = [PcieLink(self.config) for _ in range(self.num_devices)]
-        devices = [DeviceLoad(index=i) for i in range(self.num_devices)]
+        plan = plan_stage(ctx, query, data, order)
+        q = plan.query
+        cst = build_cst_stage(ctx, plan, data)
 
-        def sink(part: CST) -> None:
-            # Section VII-E: the device with minimum total workload.
-            target = min(devices, key=lambda d: (d.workload, d.index))
-            target.workload += estimate_workload(part)
-            target.num_csts += 1
-            target.pcie_seconds += links[target.index].send_to_card(
-                part.size_bytes()
+        limits = ctx.fpga.partition_limits(q)
+        with ctx.stage("partition") as st:
+            parts, stats, cached = cached_partition_list(
+                ctx, data, cst, plan, limits, k_policy=self.k_policy
             )
-            report = engines[target.index].run(part, plan=plan)
-            if target.kernel is None:
-                target.kernel = report
-            else:
-                target.kernel.merge(report)
+            partition_seconds = ctx.host_seconds(
+                stats.total_bytes // ENTRY_BYTES, data
+            )
+            st.modeled_seconds += partition_seconds
+            st.note(
+                num_partitions=stats.num_partitions,
+                num_splits=stats.num_splits,
+                cached=cached,
+            )
 
-        limits = self.config.partition_limits(q)
-        stats = partition_cst(cst, order, limits, sink,
-                              k_policy=self.k_policy)
-        partition_seconds = self._host_seconds(
-            stats.total_bytes // ENTRY_BYTES, data
-        )
+        devices = [DeviceLoad(index=i) for i in range(self.num_devices)]
+        with ctx.stage("schedule") as st:
+            # Section VII-E: the device with minimum total workload.
+            assignment: list[list] = [[] for _ in devices]
+            for part in parts:
+                target = min(devices, key=lambda d: (d.workload, d.index))
+                target.workload += estimate_workload(part)
+                target.num_csts += 1
+                assignment[target.index].append(part)
+            st.note(
+                num_devices=self.num_devices,
+                csts_per_device=tuple(d.num_csts for d in devices),
+            )
 
-        embeddings = sum(
-            d.kernel.embeddings for d in devices if d.kernel is not None
-        )
-        for d in devices:
-            if d.kernel is not None:
-                d.pcie_seconds += links[d.index].fetch_from_card(
-                    d.kernel.embeddings * q.num_vertices * ENTRY_BYTES
+        with ctx.stage("execute") as st:
+            for device in devices:
+                if not assignment[device.index]:
+                    continue
+                engine = FastEngine(ctx.fpga, self.variant)
+                link = PcieLink(ctx.fpga)
+                for part in assignment[device.index]:
+                    device.pcie_seconds += link.send_to_card(
+                        part.size_bytes()
+                    )
+                    report = engine.run(part, plan=plan.match_plan)
+                    if device.kernel is None:
+                        device.kernel = report
+                    else:
+                        device.kernel.merge(report)
+                device.pcie_seconds += link.fetch_from_card(
+                    device.kernel.embeddings * q.num_vertices * ENTRY_BYTES
                 )
-        makespan = max((d.seconds for d in devices), default=0.0)
+            makespan = max((d.seconds for d in devices), default=0.0)
+            st.modeled_seconds += makespan
+            st.note(
+                makespan_seconds=makespan,
+                device_seconds=tuple(d.seconds for d in devices),
+            )
+
+        with ctx.stage("merge") as st:
+            embeddings = sum(
+                d.kernel.embeddings for d in devices
+                if d.kernel is not None
+            )
+            total_seconds = ctx.current_metrics.modeled_seconds
+            st.note(embeddings=embeddings, total_seconds=total_seconds)
+        metrics = ctx.finish_run()
+
         return MultiFpgaResult(
             embeddings=embeddings,
-            total_seconds=build_seconds + partition_seconds + makespan,
-            build_seconds=build_seconds,
+            total_seconds=total_seconds,
+            build_seconds=metrics.stages["build_cst"].modeled_seconds,
             partition_seconds=partition_seconds,
             makespan_seconds=makespan,
             devices=devices,
             num_partitions=stats.num_partitions,
-        )
-
-    def _host_seconds(self, ops: int, data: Graph) -> float:
-        counters = OpCounters(index_build_ops=ops)
-        return self.cpu_cost_model.seconds(
-            counters, data.average_degree(), data.num_vertices
+            metrics=metrics,
         )

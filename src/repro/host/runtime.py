@@ -1,24 +1,31 @@
 """End-to-end FAST runtime: the CPU-FPGA co-designed pipeline.
 
 :class:`FastRunner` implements the full system of Fig. 2 over the
-simulated device:
+simulated device by threading the first-class stages of
+:mod:`repro.runtime.stages` — ``plan -> build_cst -> partition ->
+schedule -> execute -> merge`` — through a shared
+:class:`~repro.runtime.context.RunContext`:
 
-1. build the CST on the host (Section V-A);
-2. partition it to the device's BRAM/port limits (Section V-B),
-   streaming conforming partitions to the scheduler;
-3. route each partition to the FPGA (over the modeled PCIe link) or -
-   under the ``share`` variant - keep up to a ``delta`` fraction of
-   the estimated workload on the CPU (Section V-C), including whole
-   oversized CSTs whose partitioning cost the CPU absorbs;
-4. run the FAST kernel on every FPGA partition and the basic
-   backtracking matcher on every CPU partition;
-5. merge counts/results and account modeled end-to-end time, with the
-   CPU share overlapping the FPGA phase as in the paper.
+1. **plan**: choose the spanning tree and matching order, compile the
+   static match plan;
+2. **build_cst**: Algorithm 1 on the host (Section V-A), memoized in
+   the context's stage cache;
+3. **partition**: Algorithm 2 down to the device's BRAM/port limits
+   (Section V-B); under the ``share`` variant the partitioner may hand
+   whole oversized CSTs to the CPU (Section VII-B);
+4. **schedule**: Algorithm 3's delta-threshold CPU/FPGA routing;
+5. **execute**: the FAST kernel on every FPGA partition (over the
+   modeled PCIe link) and the basic backtracking matcher on every CPU
+   partition;
+6. **merge**: combine counts/results; modeled end-to-end time lets the
+   CPU share overlap the FPGA phase as in the paper.
 
 Host-side costs (CST build, partitioning, CPU matching) are modeled
 from deterministic operation counts through the same
 :class:`~repro.costs.cpu.CpuCostModel` the baselines use, keeping every
-reported number in one modeled-time domain.
+reported number in one modeled-time domain. Stage memoization never
+changes modeled numbers — cached stages are charged the same modeled
+time they would cost uncached.
 """
 
 from __future__ import annotations
@@ -26,26 +33,28 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.common.errors import DeviceError
-from repro.costs.cpu import CpuCostModel, OpCounters
-from repro.cst.builder import build_cst
-from repro.cst.partition import partition_cst
-from repro.cst.structure import CST, ENTRY_BYTES
-from repro.cst.workload import estimate_workload
+from repro.costs.cpu import CpuCostModel
 from repro.fpga.config import FpgaConfig
-from repro.fpga.engine import FastEngine
-from repro.fpga.kernel import build_plan
 from repro.fpga.report import KernelReport
 from repro.graph.graph import Graph
-from repro.host.cpu_matcher import CpuMatchCounters, cst_embeddings
-from repro.host.pcie import PcieLink
-from repro.host.scheduler import WorkloadScheduler
-from repro.query.ordering import path_based_order
-from repro.query.query_graph import QueryGraph, as_query
-from repro.query.spanning_tree import build_bfs_tree, choose_root
+from repro.query.query_graph import QueryGraph
+from repro.runtime.context import RunContext, RunMetrics
+from repro.runtime.stages import (
+    build_cst_stage,
+    execute_stage,
+    merge_stage,
+    partition_stage,
+    passthrough_partition_stage,
+    plan_stage,
+    schedule_stage,
+)
 
 #: Runner variants: the four kernel designs plus the final co-designed
 #: system (FAST-SHARE, the paper's "FAST").
 RUNNER_VARIANTS = ("dram", "basic", "task", "sep", "share")
+
+#: Registry backend name per runner variant.
+BACKEND_NAMES = {v: f"fast-{v}" for v in RUNNER_VARIANTS}
 
 
 @dataclass
@@ -68,6 +77,9 @@ class FastRunResult:
     results: list[tuple[int, ...]] | None = None
     cst_bytes: int = 0
     partition_stats: object = None
+    #: Structured per-stage metrics of this run (wall + modeled times,
+    #: cache hit flags, workload shape); see docs/runtime.md.
+    metrics: RunMetrics | None = None
 
     def summary(self) -> dict[str, object]:
         return {
@@ -99,6 +111,11 @@ class FastRunner:
     #: an efficiency factor.
     cpu_share_threads: int = 8
     cpu_thread_efficiency: float = 0.45
+    #: Shared execution context. When set, its device/cost config and
+    #: stage cache are used (enabling CST reuse across runs); when
+    #: ``None``, an ephemeral context is built from this runner's own
+    #: fields on every ``run``.
+    context: RunContext | None = None
 
     def __post_init__(self) -> None:
         if self.variant not in RUNNER_VARIANTS:
@@ -109,6 +126,15 @@ class FastRunner:
 
     # ------------------------------------------------------------------
 
+    def _context(self) -> RunContext:
+        if self.context is not None:
+            return self.context
+        return RunContext(
+            fpga=self.config,
+            cpu_cost=self.cpu_cost_model,
+            delta=self.delta,
+        )
+
     def run(
         self,
         query: Graph | QueryGraph,
@@ -117,181 +143,55 @@ class FastRunner:
         collect_results: bool = False,
     ) -> FastRunResult:
         """Match ``query`` against ``data`` end to end."""
-        q = as_query(query)
-        tree = build_bfs_tree(q, choose_root(q, data))
-        cst = build_cst(q, data, tree=tree)
-        if order is None:
-            order = path_based_order(tree, data)
-        build_seconds = self._host_seconds(
-            cst.total_candidates() + cst.total_adjacency_entries(), data
-        )
+        ctx = self._context()
+        ctx.begin_run(BACKEND_NAMES[self.variant])
+
+        plan = plan_stage(ctx, query, data, order)
+        cst = build_cst_stage(ctx, plan, data)
 
         if self.variant == "dram":
-            return self._run_dram(
-                cst, order, data, build_seconds, collect_results
+            engine_variant = "dram"
+            work = passthrough_partition_stage(ctx, cst)
+        else:
+            engine_variant = (
+                "sep" if self.variant == "share" else self.variant
             )
-        return self._run_bram(
-            cst, order, data, build_seconds, collect_results
-        )
+            work = partition_stage(
+                ctx, data, cst, plan,
+                limits=ctx.fpga.partition_limits(plan.query),
+                k_policy=self.k_policy,
+                split_policy=self.split_policy,
+                delta=self.delta if self.variant == "share" else 0.0,
+                absorb_oversized=self.variant == "share",
+            )
+        schedule_stage(ctx, work)
 
-    # ------------------------------------------------------------------
-
-    def _run_dram(
-        self,
-        cst: CST,
-        order: tuple[int, ...],
-        data: Graph,
-        build_seconds: float,
-        collect_results: bool,
-    ) -> FastRunResult:
-        """FAST-DRAM: whole CST on card DRAM, no partitioning."""
-        link = PcieLink(self.config)
-        pcie_seconds = link.send_to_card(cst.size_bytes())
-        engine = FastEngine(self.config, "dram")
-        report = engine.run(cst, order, collect_results=collect_results)
-        pcie_seconds += link.fetch_from_card(
-            report.embeddings * cst.query.num_vertices * ENTRY_BYTES
+        executed = execute_stage(
+            ctx, plan, work, data, engine_variant,
+            collect_results=collect_results,
+            cpu_share_threads=self.cpu_share_threads,
+            cpu_thread_efficiency=self.cpu_thread_efficiency,
         )
-        total = build_seconds + pcie_seconds + report.seconds
+        merged = merge_stage(ctx, executed, collect_results)
+        metrics = ctx.finish_run()
+
+        stages = metrics.stages
         return FastRunResult(
             variant=self.variant,
-            embeddings=report.embeddings,
-            total_seconds=total,
-            build_seconds=build_seconds,
-            partition_seconds=0.0,
-            pcie_seconds=pcie_seconds,
-            kernel_seconds=report.seconds,
-            cpu_share_seconds=0.0,
-            num_partitions=1,
-            num_cpu_csts=0,
-            cpu_workload_fraction=0.0,
-            kernel_report=report,
-            order=order,
-            results=report.results,
+            embeddings=merged.embeddings,
+            total_seconds=merged.total_seconds,
+            build_seconds=stages["build_cst"].modeled_seconds,
+            partition_seconds=stages["partition"].modeled_seconds,
+            pcie_seconds=executed.pcie_seconds,
+            kernel_seconds=executed.kernel.seconds,
+            cpu_share_seconds=executed.cpu_share_seconds,
+            num_partitions=work.num_partitions,
+            num_cpu_csts=len(work.cpu_parts),
+            cpu_workload_fraction=work.scheduler.cpu_fraction,
+            kernel_report=executed.kernel,
+            order=plan.order,
+            results=merged.results,
             cst_bytes=cst.size_bytes(),
-        )
-
-    def _run_bram(
-        self,
-        cst: CST,
-        order: tuple[int, ...],
-        data: Graph,
-        build_seconds: float,
-        collect_results: bool,
-    ) -> FastRunResult:
-        """FAST-BASIC/TASK/SEP/SHARE: partition, schedule, execute."""
-        q = cst.query
-        limits = self.config.partition_limits(q)
-        engine_variant = "sep" if self.variant == "share" else self.variant
-        engine = FastEngine(self.config, engine_variant)
-        plan = build_plan(q, order)
-        link = PcieLink(self.config)
-        scheduler = WorkloadScheduler(
-            delta=self.delta if self.variant == "share" else 0.0
-        )
-
-        kernel_total = KernelReport(
-            variant=engine_variant, clock_mhz=self.config.clock_mhz
-        )
-        if collect_results:
-            kernel_total.results = []
-        cpu_csts: list[CST] = []
-        pcie_seconds = 0.0
-
-        def sink(part: CST) -> None:
-            nonlocal pcie_seconds
-            target = scheduler.assign(part)
-            if target == "cpu":
-                cpu_csts.append(part)
-            else:
-                pcie_seconds += link.send_to_card(part.size_bytes())
-                kernel_total.merge(
-                    engine.run(part, collect_results=collect_results,
-                               plan=plan)
-                )
-
-        def intercept(oversized: CST) -> bool:
-            # FAST-SHARE may absorb a whole oversized CST on the CPU
-            # instead of paying to partition it further.
-            if self.variant != "share":
-                return False
-            workload = estimate_workload(oversized)
-            if scheduler.would_accept_cpu(workload):
-                scheduler.assign(oversized, workload)
-                cpu_csts.append(oversized)
-                return True
-            return False
-
-        stats = partition_cst(
-            cst, order, limits, sink,
-            k_policy=self.k_policy, intercept=intercept,
-            split_policy=self.split_policy,
-        )
-        partition_seconds = self._host_seconds(
-            stats.total_bytes // ENTRY_BYTES, data
-        )
-
-        # CPU share: the basic backtracking matcher over each CPU CST.
-        cpu_counters = CpuMatchCounters()
-        cpu_embeddings = 0
-        cpu_results: list[tuple[int, ...]] = []
-        for part in cpu_csts:
-            found = cst_embeddings(part, order, counters=cpu_counters)
-            cpu_embeddings += len(found)
-            if collect_results:
-                cpu_results.extend(found)
-        cpu_share_serial = self.cpu_cost_model.seconds(
-            OpCounters(
-                recursive_calls=cpu_counters.recursive_calls,
-                extensions=cpu_counters.extensions_generated,
-                edge_checks=cpu_counters.edge_checks,
-                embeddings=cpu_counters.embeddings,
-            ),
-            data.average_degree(),
-            data.num_vertices,
-        )
-        cpu_share_seconds = cpu_share_serial / max(
-            1.0, self.cpu_share_threads * self.cpu_thread_efficiency
-        )
-
-        pcie_seconds += link.fetch_from_card(
-            kernel_total.embeddings * q.num_vertices * ENTRY_BYTES
-        )
-        # After the sequential host phases, the CPU share overlaps the
-        # transfer + kernel phase (Section V-C).
-        total = (
-            build_seconds
-            + partition_seconds
-            + max(cpu_share_seconds, pcie_seconds + kernel_total.seconds)
-        )
-
-        results = None
-        if collect_results:
-            results = list(kernel_total.results or []) + cpu_results
-        return FastRunResult(
-            variant=self.variant,
-            embeddings=kernel_total.embeddings + cpu_embeddings,
-            total_seconds=total,
-            build_seconds=build_seconds,
-            partition_seconds=partition_seconds,
-            pcie_seconds=pcie_seconds,
-            kernel_seconds=kernel_total.seconds,
-            cpu_share_seconds=cpu_share_seconds,
-            num_partitions=stats.num_partitions,
-            num_cpu_csts=len(cpu_csts),
-            cpu_workload_fraction=scheduler.cpu_fraction,
-            kernel_report=kernel_total,
-            order=order,
-            results=results,
-            cst_bytes=cst.size_bytes(),
-            partition_stats=stats,
-        )
-
-    # ------------------------------------------------------------------
-
-    def _host_seconds(self, ops: int, data: Graph) -> float:
-        """Deterministic modeled host time for ``ops`` index operations."""
-        counters = OpCounters(index_build_ops=ops)
-        return self.cpu_cost_model.seconds(
-            counters, data.average_degree(), data.num_vertices
+            partition_stats=work.stats,
+            metrics=metrics,
         )

@@ -1,0 +1,227 @@
+"""Execution context shared by every backend run.
+
+:class:`RunContext` is the single object threaded through the staged
+pipeline (``plan -> build_cst -> partition -> schedule -> execute ->
+merge``). It carries the device and cost-model configuration, a
+:class:`StageCache` memoizing expensive stage outputs across runs, and
+a :class:`RunMetrics` accumulator with one :class:`StageMetrics` entry
+per stage of the current run.
+
+Sharing one context across a sweep (the harness and every figure
+driver do this) is what makes the CST cache effective: a delta or
+engine-variant sweep re-runs the pipeline many times over the same
+``(graph, query)`` pair, and every run after the first reuses the
+cached CST instead of rebuilding it.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.costs.cpu import CpuCostModel, OpCounters
+from repro.costs.resources import ResourceLimits
+from repro.fpga.config import FpgaConfig
+from repro.graph.graph import Graph
+
+#: Canonical stage order of the pipeline (documented in docs/runtime.md).
+STAGES = ("plan", "build_cst", "partition", "schedule", "execute", "merge")
+
+
+@dataclass
+class StageMetrics:
+    """Measurements of one pipeline stage within one run.
+
+    ``wall_seconds`` is real elapsed host time; ``modeled_seconds`` is
+    the stage's contribution in the repo's modeled-time domain (zero
+    for stages the paper does not charge, e.g. planning). ``extra``
+    holds stage-specific structured facts (cycles, N, M, partition
+    counts, buffer peaks, ...).
+    """
+
+    name: str
+    wall_seconds: float = 0.0
+    modeled_seconds: float = 0.0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def note(self, **facts: Any) -> None:
+        """Record stage-specific facts into ``extra``."""
+        self.extra.update(facts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "modeled_seconds": self.modeled_seconds,
+            **self.extra,
+        }
+
+
+@dataclass
+class RunMetrics:
+    """Structured per-stage metrics of one backend run."""
+
+    backend: str
+    stages: dict[str, StageMetrics] = field(default_factory=dict)
+    cache: dict[str, dict[str, float]] = field(default_factory=dict)
+
+    def stage(self, name: str) -> StageMetrics:
+        """The metrics bucket for ``name``, created on first use."""
+        if name not in self.stages:
+            self.stages[name] = StageMetrics(name=name)
+        return self.stages[name]
+
+    @property
+    def wall_seconds(self) -> float:
+        return sum(s.wall_seconds for s in self.stages.values())
+
+    @property
+    def modeled_seconds(self) -> float:
+        return sum(s.modeled_seconds for s in self.stages.values())
+
+    def to_dict(self) -> dict[str, Any]:
+        """The metrics payload (see docs/runtime.md for the schema)."""
+        return {
+            "backend": self.backend,
+            "stages": {n: s.to_dict() for n, s in self.stages.items()},
+            "cache": self.cache,
+            "totals": {
+                "wall_seconds": self.wall_seconds,
+                "modeled_seconds": self.modeled_seconds,
+            },
+        }
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache namespace."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class StageCache:
+    """Memoization of expensive stage outputs across runs.
+
+    Two namespaces are in use: ``"cst"`` (Algorithm 1 output, keyed by
+    the data and query graphs) and ``"partition"`` (Algorithm 2 output,
+    keyed additionally by the matching order, the delta_S / delta_D
+    limits, and the split policies). Keys rely on
+    :class:`~repro.graph.graph.Graph` equality, which compares CSR
+    content, so two structurally identical graphs share entries.
+    """
+
+    def __init__(self, enabled: bool = True, max_entries: int = 256) -> None:
+        self.enabled = enabled
+        self.max_entries = max_entries
+        self._store: dict[tuple, Any] = {}
+        self._stats: dict[str, CacheStats] = {}
+
+    def namespace_stats(self, namespace: str) -> CacheStats:
+        if namespace not in self._stats:
+            self._stats[namespace] = CacheStats()
+        return self._stats[namespace]
+
+    def get_or_build(
+        self, namespace: str, key: tuple, build: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return ``(value, was_cached)`` for ``key`` in ``namespace``."""
+        stats = self.namespace_stats(namespace)
+        if not self.enabled:
+            stats.misses += 1
+            return build(), False
+        full_key = (namespace, *key)
+        if full_key in self._store:
+            stats.hits += 1
+            return self._store[full_key], True
+        stats.misses += 1
+        value = build()
+        if len(self._store) >= self.max_entries:
+            # Drop the oldest entry (dicts preserve insertion order).
+            self._store.pop(next(iter(self._store)))
+        self._store[full_key] = value
+        return value, False
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict[str, dict[str, float]]:
+        """Cumulative hit/miss counters per namespace."""
+        return {n: s.to_dict() for n, s in sorted(self._stats.items())}
+
+
+@dataclass
+class RunContext:
+    """Configuration + metrics + cache for pipeline execution.
+
+    One context per experiment campaign; ``begin_run`` resets the
+    per-run metrics while the cache (and its cumulative statistics)
+    persists across runs.
+    """
+
+    fpga: FpgaConfig = field(default_factory=FpgaConfig)
+    cpu_cost: CpuCostModel = field(default_factory=CpuCostModel)
+    limits: ResourceLimits = field(default_factory=ResourceLimits)
+    delta: float = 0.1
+    seed: int = 7
+    cache: StageCache = field(default_factory=StageCache)
+    metrics: RunMetrics | None = None
+    history: list[RunMetrics] = field(default_factory=list)
+    #: Cap on ``history`` so long sweeps do not grow without bound.
+    max_history: int = 512
+
+    def begin_run(self, backend: str) -> RunMetrics:
+        """Start a fresh metrics record for one backend run."""
+        self.metrics = RunMetrics(backend=backend)
+        if len(self.history) >= self.max_history:
+            del self.history[0]
+        self.history.append(self.metrics)
+        return self.metrics
+
+    def finish_run(self) -> RunMetrics:
+        """Stamp the cumulative cache statistics onto the current run."""
+        metrics = self.current_metrics
+        metrics.cache = self.cache.stats()
+        return metrics
+
+    @property
+    def current_metrics(self) -> RunMetrics:
+        if self.metrics is None:
+            self.metrics = RunMetrics(backend="ad-hoc")
+        return self.metrics
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageMetrics]:
+        """Time a stage; wall time accumulates into its bucket."""
+        st = self.current_metrics.stage(name)
+        t0 = time.perf_counter()
+        try:
+            yield st
+        finally:
+            # max() guards against timers too coarse to see tiny stages;
+            # every recorded stage reports a nonzero wall time.
+            st.wall_seconds += max(time.perf_counter() - t0, 1e-9)
+
+    def host_seconds(self, ops: int, data: Graph) -> float:
+        """Modeled host time for ``ops`` index operations on ``data``."""
+        return self.cpu_cost.seconds(
+            OpCounters(index_build_ops=ops),
+            data.average_degree(),
+            data.num_vertices,
+        )

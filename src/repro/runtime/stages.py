@@ -1,0 +1,377 @@
+"""First-class pipeline stages of the FAST execution spine.
+
+End-to-end matching decomposes into six explicit stages, each timed
+and annotated through the shared :class:`~repro.runtime.context.RunContext`:
+
+``plan``
+    Validate the query, choose the spanning tree ``t_q`` and the
+    matching order, and compile the static :class:`MatchPlan`.
+``build_cst``
+    Algorithm 1 over the data graph. Memoized per ``(data, query)``
+    in the context's :class:`~repro.runtime.context.StageCache`.
+``partition``
+    Algorithm 2 down to the device's ``delta_S`` / ``delta_D`` limits.
+    The pure (non-intercepting) form is memoized per
+    ``(data, query, order, delta_S, delta_D, policies)``; the
+    FAST-SHARE form is fused with scheduling (the intercept consults
+    the scheduler mid-stream) and bypasses the cache.
+``schedule``
+    Algorithm 3: route each partition to the CPU or the FPGA under the
+    workload threshold ``delta``.
+``execute``
+    FAST kernel over the FPGA partitions (over the modeled PCIe link)
+    plus the basic backtracking matcher over the CPU partitions.
+``merge``
+    Combine counts/result sets; end-to-end modeled time follows the
+    paper's overlap rule (the CPU share hides behind PCIe + kernel).
+
+Modeled times are charged identically whether or not a cached value
+was reused: the cache saves wall-clock time only, so every reported
+modeled number is independent of cache state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costs.cpu import OpCounters
+from repro.cst.builder import build_cst
+from repro.cst.partition import (
+    PartitionLimits,
+    PartitionStats,
+    partition_cst,
+    partition_to_list,
+)
+from repro.cst.structure import CST, ENTRY_BYTES
+from repro.cst.workload import estimate_workload
+from repro.fpga.engine import FastEngine
+from repro.fpga.kernel import MatchPlan, build_plan
+from repro.fpga.report import KernelReport
+from repro.graph.graph import Graph
+from repro.host.cpu_matcher import CpuMatchCounters, cst_embeddings
+from repro.host.pcie import PcieLink
+from repro.host.scheduler import WorkloadScheduler
+from repro.query.ordering import path_based_order
+from repro.query.query_graph import QueryGraph, as_query
+from repro.query.spanning_tree import SpanningTree, build_bfs_tree, choose_root
+from repro.runtime.context import RunContext
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """Output of the ``plan`` stage: everything static about one run."""
+
+    query: QueryGraph
+    tree: SpanningTree
+    order: tuple[int, ...]
+    match_plan: MatchPlan
+
+
+@dataclass
+class ScheduledWork:
+    """Output of the ``partition`` + ``schedule`` stages."""
+
+    fpga_parts: list[CST]
+    cpu_parts: list[CST]
+    stats: PartitionStats | None
+    scheduler: WorkloadScheduler
+    cached: bool = False
+
+    @property
+    def num_partitions(self) -> int:
+        if self.stats is not None:
+            return self.stats.num_partitions
+        return len(self.fpga_parts) + len(self.cpu_parts)
+
+
+@dataclass
+class ExecuteOutcome:
+    """Output of the ``execute`` stage."""
+
+    kernel: KernelReport
+    cpu_embeddings: int = 0
+    cpu_results: list[tuple[int, ...]] = field(default_factory=list)
+    pcie_seconds: float = 0.0
+    cpu_share_seconds: float = 0.0
+
+
+@dataclass
+class MergedRun:
+    """Output of the ``merge`` stage: the run's bottom line."""
+
+    embeddings: int
+    total_seconds: float
+    results: list[tuple[int, ...]] | None = None
+
+
+# ----------------------------------------------------------------------
+
+
+def cached_partition_list(
+    ctx: RunContext,
+    data: Graph,
+    cst: CST,
+    plan: StagePlan,
+    limits: PartitionLimits,
+    k_policy: int | str = "greedy",
+    split_policy: str = "order",
+) -> tuple[list[CST], PartitionStats, bool]:
+    """Pure Algorithm 2, memoized per ``(graph, query, order, delta_S,
+    delta_D, policies)``; returns ``(parts, stats, was_cached)``."""
+    key = (
+        data, plan.query.graph, plan.order,
+        limits.max_bytes, limits.max_degree,
+        str(k_policy), split_policy,
+    )
+    (parts, stats), cached = ctx.cache.get_or_build(
+        "partition", key,
+        lambda: partition_to_list(
+            cst, plan.order, limits,
+            k_policy=k_policy, split_policy=split_policy,
+        ),
+    )
+    return parts, stats, cached
+
+
+def plan_stage(
+    ctx: RunContext,
+    query: Graph | QueryGraph,
+    data: Graph,
+    order: tuple[int, ...] | None = None,
+) -> StagePlan:
+    """Choose tree + order and compile the match plan."""
+    with ctx.stage("plan") as st:
+        q = as_query(query)
+        tree = build_bfs_tree(q, choose_root(q, data))
+        if order is None:
+            order = path_based_order(tree, data)
+        order = tuple(order)
+        match_plan = build_plan(q, order)
+        st.note(
+            order=order,
+            root=tree.root,
+            num_query_vertices=q.num_vertices,
+        )
+    return StagePlan(query=q, tree=tree, order=order, match_plan=match_plan)
+
+
+def build_cst_stage(ctx: RunContext, plan: StagePlan, data: Graph) -> CST:
+    """Algorithm 1, memoized per ``(data, query)``.
+
+    The spanning tree is a pure function of ``(query, data)`` (via
+    :func:`choose_root`), so it does not appear in the cache key.
+    """
+    with ctx.stage("build_cst") as st:
+        cst, cached = ctx.cache.get_or_build(
+            "cst",
+            (data, plan.query.graph),
+            lambda: build_cst(plan.query, data, tree=plan.tree),
+        )
+        candidates = cst.total_candidates()
+        adjacency = cst.total_adjacency_entries()
+        st.modeled_seconds += ctx.host_seconds(candidates + adjacency, data)
+        st.note(
+            cached=cached,
+            cst_bytes=cst.size_bytes(),
+            candidates=candidates,
+            adjacency_entries=adjacency,
+        )
+    return cst
+
+
+def passthrough_partition_stage(
+    ctx: RunContext, cst: CST
+) -> ScheduledWork:
+    """FAST-DRAM's degenerate partition stage: the whole CST is one
+    FPGA-resident piece (card DRAM has no ``delta_S`` limit)."""
+    with ctx.stage("partition") as st:
+        scheduler = WorkloadScheduler(delta=0.0)
+        scheduler.assign(cst)
+        st.note(num_partitions=1, num_splits=0, cached=False)
+    return ScheduledWork(
+        fpga_parts=[cst], cpu_parts=[], stats=None, scheduler=scheduler
+    )
+
+
+def partition_stage(
+    ctx: RunContext,
+    data: Graph,
+    cst: CST,
+    plan: StagePlan,
+    limits: PartitionLimits,
+    k_policy: int | str = "greedy",
+    split_policy: str = "order",
+    delta: float = 0.0,
+    absorb_oversized: bool = False,
+) -> ScheduledWork:
+    """Algorithm 2 (+ Algorithm 3 routing of each emitted partition).
+
+    With ``absorb_oversized`` (FAST-SHARE), the scheduler may claim a
+    whole oversized CST for the CPU before it is split; that couples
+    partitioning to live scheduler state, so the fused path bypasses
+    the partition cache. The pure path partitions once (memoized) and
+    replays scheduling over the cached list, which is equivalent
+    because execution never feeds back into Algorithm 3's decisions.
+    """
+    scheduler = WorkloadScheduler(delta=delta)
+    fpga_parts: list[CST] = []
+    cpu_parts: list[CST] = []
+    with ctx.stage("partition") as st:
+        if absorb_oversized and delta > 0:
+            def sink(part: CST) -> None:
+                target = scheduler.assign(part)
+                (cpu_parts if target == "cpu" else fpga_parts).append(part)
+
+            def intercept(oversized: CST) -> bool:
+                workload = estimate_workload(oversized)
+                if scheduler.would_accept_cpu(workload):
+                    scheduler.assign(oversized, workload)
+                    cpu_parts.append(oversized)
+                    return True
+                return False
+
+            stats = partition_cst(
+                cst, plan.order, limits, sink,
+                k_policy=k_policy, intercept=intercept,
+                split_policy=split_policy,
+            )
+            cached = False
+        else:
+            parts, stats, cached = cached_partition_list(
+                ctx, data, cst, plan, limits,
+                k_policy=k_policy, split_policy=split_policy,
+            )
+            for part in parts:
+                target = scheduler.assign(part)
+                (cpu_parts if target == "cpu" else fpga_parts).append(part)
+        st.modeled_seconds += ctx.host_seconds(
+            stats.total_bytes // ENTRY_BYTES, data
+        )
+        st.note(
+            num_partitions=stats.num_partitions,
+            num_splits=stats.num_splits,
+            cached=cached,
+        )
+    return ScheduledWork(
+        fpga_parts=fpga_parts, cpu_parts=cpu_parts,
+        stats=stats, scheduler=scheduler,
+    )
+
+
+def schedule_stage(ctx: RunContext, work: ScheduledWork) -> ScheduledWork:
+    """Record the CPU/FPGA workload split Algorithm 3 arrived at."""
+    with ctx.stage("schedule") as st:
+        st.note(
+            cpu_csts=len(work.cpu_parts),
+            fpga_csts=len(work.fpga_parts),
+            cpu_workload_fraction=work.scheduler.cpu_fraction,
+            delta=work.scheduler.delta,
+        )
+    return work
+
+
+def execute_stage(
+    ctx: RunContext,
+    plan: StagePlan,
+    work: ScheduledWork,
+    data: Graph,
+    engine_variant: str,
+    collect_results: bool = False,
+    cpu_share_threads: int = 8,
+    cpu_thread_efficiency: float = 0.45,
+) -> ExecuteOutcome:
+    """Kernel over FPGA partitions + basic matcher over CPU partitions.
+
+    The stage's modeled time follows the Section V-C overlap rule:
+    ``max(cpu_share, pcie + kernel)``.
+    """
+    cfg = ctx.fpga
+    q = plan.query
+    with ctx.stage("execute") as st:
+        engine = FastEngine(cfg, engine_variant)
+        link = PcieLink(cfg)
+        kernel_total = KernelReport(
+            variant=engine_variant, clock_mhz=cfg.clock_mhz
+        )
+        if collect_results:
+            kernel_total.results = []
+        pcie_seconds = 0.0
+        for part in work.fpga_parts:
+            pcie_seconds += link.send_to_card(part.size_bytes())
+            kernel_total.merge(engine.run(
+                part, collect_results=collect_results,
+                plan=plan.match_plan,
+            ))
+
+        cpu_counters = CpuMatchCounters()
+        cpu_embeddings = 0
+        cpu_results: list[tuple[int, ...]] = []
+        for part in work.cpu_parts:
+            found = cst_embeddings(part, plan.order, counters=cpu_counters)
+            cpu_embeddings += len(found)
+            if collect_results:
+                cpu_results.extend(found)
+        cpu_share_serial = ctx.cpu_cost.seconds(
+            OpCounters(
+                recursive_calls=cpu_counters.recursive_calls,
+                extensions=cpu_counters.extensions_generated,
+                edge_checks=cpu_counters.edge_checks,
+                embeddings=cpu_counters.embeddings,
+            ),
+            data.average_degree(),
+            data.num_vertices,
+        )
+        cpu_share_seconds = cpu_share_serial / max(
+            1.0, cpu_share_threads * cpu_thread_efficiency
+        )
+
+        pcie_seconds += link.fetch_from_card(
+            kernel_total.embeddings * q.num_vertices * ENTRY_BYTES
+        )
+        st.modeled_seconds += max(
+            cpu_share_seconds, pcie_seconds + kernel_total.seconds
+        )
+        st.note(
+            kernel_seconds=kernel_total.seconds,
+            pcie_seconds=pcie_seconds,
+            cpu_share_seconds=cpu_share_seconds,
+            cycles=kernel_total.total_cycles,
+            rounds=kernel_total.rounds,
+            N=kernel_total.total_partials,
+            M=kernel_total.total_edge_tasks,
+            buffer_peak=max(kernel_total.buffer_peaks.values(), default=0),
+            num_csts=kernel_total.num_csts,
+        )
+    return ExecuteOutcome(
+        kernel=kernel_total,
+        cpu_embeddings=cpu_embeddings,
+        cpu_results=cpu_results,
+        pcie_seconds=pcie_seconds,
+        cpu_share_seconds=cpu_share_seconds,
+    )
+
+
+def merge_stage(
+    ctx: RunContext,
+    executed: ExecuteOutcome,
+    collect_results: bool = False,
+) -> MergedRun:
+    """Combine FPGA and CPU outcomes into the run's bottom line.
+
+    Total modeled seconds is the sum of the pipeline's per-stage
+    modeled times (the execute stage already applied the CPU/FPGA
+    overlap rule internally).
+    """
+    with ctx.stage("merge") as st:
+        embeddings = executed.kernel.embeddings + executed.cpu_embeddings
+        results = None
+        if collect_results:
+            results = list(executed.kernel.results or [])
+            results.extend(executed.cpu_results)
+        total_seconds = ctx.current_metrics.modeled_seconds
+        st.note(embeddings=embeddings, total_seconds=total_seconds)
+    return MergedRun(
+        embeddings=embeddings,
+        total_seconds=total_seconds,
+        results=results,
+    )

@@ -18,7 +18,6 @@ from repro.baselines.reference import (
     reference_embeddings,
 )
 from repro.common.errors import ModeledTimeout, QueryError
-from repro.costs.cpu import CpuCostModel
 from repro.costs.resources import ResourceLimits
 from repro.cst.builder import build_cst
 from repro.graph.generators import random_connected_query, random_labeled_graph

@@ -2,9 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
-
 from repro.baselines.reference import count_reference_embeddings
 from repro.cst.builder import build_cst
 from repro.cst.partition import PartitionLimits, partition_to_list

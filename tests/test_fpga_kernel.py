@@ -19,7 +19,6 @@ from repro.fpga.kernel import (
 from repro.fpga.kernel import _gather_ranges
 from repro.ldbc.queries import get_query
 from repro.query.ordering import path_based_order
-from repro.query.query_graph import as_query
 
 
 @pytest.fixture(scope="module")

@@ -21,9 +21,15 @@ from repro.host.cpu_matcher import count_cst_embeddings
 from repro.host.runtime import FastRunner
 from repro.ldbc.datasets import load_dataset
 from repro.ldbc.queries import all_queries
+from repro.runtime.context import RunContext
+from repro.runtime.registry import REGISTRY
 
 
 BIG_GPU = GpuCostModel(memory_bytes=1 << 40)
+
+#: One context across all cross-checks: cache keys hash graph content,
+#: so reuse across workloads is safe and exercises the stage cache.
+SHARED_CTX = RunContext()
 
 
 def all_counts(query, data) -> dict[str, int]:
@@ -49,6 +55,10 @@ def all_counts(query, data) -> dict[str, int]:
     gsi = Gsi(gpu=BIG_GPU).run(query, data)
     if gsi.ok:
         out["gsi"] = gsi.embeddings
+    for name in REGISTRY.names():
+        outcome = REGISTRY.run(name, query, data, ctx=SHARED_CTX)
+        if outcome.ok:
+            out[f"registry:{name}"] = outcome.embeddings
     return out
 
 

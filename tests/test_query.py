@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.errors import QueryError
-from repro.graph.generators import random_connected_query, random_labeled_graph
+from repro.graph.generators import random_connected_query
 from repro.graph.graph import Graph
 from repro.ldbc.queries import all_queries
 from repro.query.ordering import (

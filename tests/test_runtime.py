@@ -1,0 +1,216 @@
+"""Tests for the staged pipeline, the run context, and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.reference import count_reference_embeddings
+from repro.common.errors import BackendError
+from repro.experiments.harness import HarnessConfig, make_context
+from repro.ldbc.queries import get_query
+from repro.runtime.context import STAGES, RunContext, StageCache
+from repro.runtime.registry import (
+    REGISTRY,
+    BackendRegistry,
+    BackendSpec,
+    RunOutcome,
+)
+
+FAST_BACKENDS = (
+    "fast-dram", "fast-basic", "fast-task", "fast-sep", "fast-share",
+)
+
+EXPECTED_NAMES = FAST_BACKENDS + (
+    "multi-fpga", "cfl", "daf", "daf-8", "ceci", "ceci-8",
+    "gpsm", "gsi", "reference",
+)
+
+
+@pytest.fixture(scope="module")
+def q0():
+    return get_query("q0").graph
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert set(REGISTRY.names()) == set(EXPECTED_NAMES)
+
+    def test_alias_resolution(self):
+        assert REGISTRY.get("FAST").name == "fast-share"
+        assert REGISTRY.get("fast").name == "fast-share"
+        assert REGISTRY.get("FAST-SEP").name == "fast-sep"
+        assert REGISTRY.get("sep").name == "fast-sep"
+        assert REGISTRY.get("CECI-8").name == "ceci-8"
+        assert REGISTRY.get("Fast-Dram").name == "fast-dram"
+        assert REGISTRY.get("brute-force").name == "reference"
+        assert "GpSM" in REGISTRY
+        assert "nope" not in REGISTRY
+
+    def test_unknown_name_enumerates_valid_names(self):
+        with pytest.raises(BackendError) as exc:
+            REGISTRY.get("quantum")
+        message = str(exc.value)
+        for name in REGISTRY.names():
+            assert name in message
+
+    def test_duplicate_registration_rejected(self):
+        registry = BackendRegistry()
+        spec = BackendSpec(
+            name="toy", summary="", family="cpu", cost_domain="cpu-ops",
+            needs_cst=False, verdicts=(), aliases=("TOY",),
+            run=lambda ctx, q, d, **kw: RunOutcome(
+                backend="toy", verdict="OK", seconds=0.0, embeddings=0
+            ),
+        )
+        registry.register(spec)
+        with pytest.raises(BackendError):
+            registry.register(spec)
+
+    def test_capabilities_shape(self):
+        caps = REGISTRY.get("cfl").capabilities()
+        assert caps["family"] == "cpu"
+        assert caps["cost_domain"] == "cpu-ops"
+        assert caps["verdicts"][0] == "OK"
+        assert "OOM" in caps["verdicts"]
+
+
+class TestRegistryRoundTrip:
+    def test_every_backend_runs_and_agrees(self, micro_graph, q0):
+        """Round-trip: each registered name resolves, runs, and every
+        OK verdict agrees with the brute-force reference count."""
+        truth = count_reference_embeddings(q0, micro_graph)
+        ctx = RunContext()
+        for name in REGISTRY.names():
+            out = REGISTRY.run(name, q0, micro_graph, ctx=ctx)
+            assert isinstance(out, RunOutcome), name
+            assert out.backend == name
+            if out.ok:
+                assert out.embeddings == truth, name
+                assert out.seconds >= 0.0, name
+            else:
+                assert out.verdict in REGISTRY.get(name).verdicts, name
+
+    def test_outcome_carries_metrics_payload(self, micro_graph, q0):
+        out = REGISTRY.run("fast-sep", q0, micro_graph)
+        assert out.metrics["backend"] == "fast-sep"
+        assert set(out.metrics["stages"]) == set(STAGES)
+        assert "cache" in out.metrics
+        assert out.metrics["totals"]["modeled_seconds"] == pytest.approx(
+            out.seconds
+        )
+
+
+class TestStageMetrics:
+    @pytest.mark.parametrize("name", FAST_BACKENDS)
+    def test_fast_backends_report_all_stages(self, name, micro_graph, q0):
+        out = REGISTRY.run(name, q0, micro_graph)
+        stages = out.metrics["stages"]
+        assert tuple(stages) == STAGES
+        for stage_name, stage in stages.items():
+            assert stage["wall_seconds"] > 0.0, (name, stage_name)
+            assert stage["modeled_seconds"] >= 0.0, (name, stage_name)
+
+    def test_execute_stage_facts(self, micro_graph, q0):
+        out = REGISTRY.run("fast-sep", q0, micro_graph)
+        execute = out.metrics["stages"]["execute"]
+        assert execute["cycles"] > 0
+        assert execute["rounds"] > 0
+        assert execute["N"] > 0
+        assert execute["M"] > 0
+        assert "buffer_peak" in execute
+
+    def test_schedule_stage_reports_split(self, micro_graph, q0):
+        out = REGISTRY.run("fast-share", q0, micro_graph)
+        schedule = out.metrics["stages"]["schedule"]
+        assert schedule["cpu_csts"] + schedule["fpga_csts"] >= 1
+        assert 0.0 <= schedule["cpu_workload_fraction"] <= 1.0
+
+    def test_history_accumulates(self, micro_graph, q0):
+        ctx = RunContext()
+        REGISTRY.run("fast-basic", q0, micro_graph, ctx=ctx)
+        REGISTRY.run("cfl", q0, micro_graph, ctx=ctx)
+        assert [m.backend for m in ctx.history] == ["fast-basic", "cfl"]
+
+
+class TestStageCache:
+    def test_get_or_build_hit_miss(self):
+        cache = StageCache()
+        value, cached = cache.get_or_build("cst", ("k",), lambda: 41)
+        assert (value, cached) == (41, False)
+        value, cached = cache.get_or_build("cst", ("k",), lambda: 42)
+        assert (value, cached) == (41, True)
+        stats = cache.stats()["cst"]
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_disabled_cache_never_hits(self):
+        cache = StageCache(enabled=False)
+        cache.get_or_build("cst", ("k",), lambda: 1)
+        _, cached = cache.get_or_build("cst", ("k",), lambda: 2)
+        assert not cached
+        assert len(cache) == 0
+
+    def test_eviction_bounds_size(self):
+        cache = StageCache(max_entries=4)
+        for i in range(10):
+            cache.get_or_build("cst", (i,), lambda: i)
+        assert len(cache) <= 4
+
+    def test_cache_correctness_on_vs_off(self, micro_graph, q0):
+        """Identical counts and modeled times with the cache on or off;
+        the second cached run flags ``cached=True`` and the payload
+        reports a nonzero hit rate."""
+        ctx_on = make_context(HarnessConfig(stage_cache=True))
+        ctx_off = make_context(HarnessConfig(stage_cache=False))
+
+        first = REGISTRY.run("fast-sep", q0, micro_graph, ctx=ctx_on)
+        second = REGISTRY.run("fast-sep", q0, micro_graph, ctx=ctx_on)
+        cold = REGISTRY.run("fast-sep", q0, micro_graph, ctx=ctx_off)
+
+        assert first.metrics["stages"]["build_cst"]["cached"] is False
+        assert second.metrics["stages"]["build_cst"]["cached"] is True
+        assert second.metrics["stages"]["partition"]["cached"] is True
+
+        # The cache saves wall time only - every modeled number and
+        # every count is independent of cache state.
+        assert first.embeddings == second.embeddings == cold.embeddings
+        assert first.seconds == pytest.approx(second.seconds)
+        assert first.seconds == pytest.approx(cold.seconds)
+
+        assert second.metrics["cache"]["cst"]["hit_rate"] == 0.5
+        assert cold.metrics["cache"]["cst"]["hit_rate"] == 0.0
+
+    def test_share_variant_identical_with_cache(self, micro_graph, q0):
+        """FAST-SHARE's fused partition path bypasses the cache, so the
+        cache setting cannot change its results either."""
+        on = REGISTRY.run(
+            "fast-share", q0, micro_graph,
+            ctx=make_context(HarnessConfig(stage_cache=True)),
+        )
+        off = REGISTRY.run(
+            "fast-share", q0, micro_graph,
+            ctx=make_context(HarnessConfig(stage_cache=False)),
+        )
+        assert on.embeddings == off.embeddings
+        assert on.seconds == pytest.approx(off.seconds)
+
+
+class TestContext:
+    def test_stage_timer_accumulates(self):
+        ctx = RunContext()
+        ctx.begin_run("toy")
+        with ctx.stage("plan") as st:
+            st.note(order=(0, 1))
+        with ctx.stage("plan"):
+            pass
+        metrics = ctx.finish_run()
+        assert metrics.stages["plan"].wall_seconds > 0.0
+        assert metrics.stages["plan"].extra["order"] == (0, 1)
+
+    def test_history_is_bounded(self):
+        ctx = RunContext(max_history=3)
+        for i in range(5):
+            ctx.begin_run(f"run-{i}")
+        assert len(ctx.history) == 3
+        assert ctx.history[-1].backend == "run-4"
