@@ -1,0 +1,97 @@
+"""Robustness drill: exact counts and bounded overhead under faults.
+
+Runs the FAST pipeline with a deterministic fault schedule injected
+(docs/robustness.md) and checks the two headline properties at
+benchmark scale: embedding counts are bit-identical to the fault-free
+run, and the health report accounts for every recovery action.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.experiments.harness import make_context
+from repro.fpga.config import FpgaConfig
+from repro.ldbc.queries import get_query
+from repro.runtime.context import RunContext
+from repro.runtime.faults import FaultPlan, RetryPolicy
+from repro.runtime.registry import REGISTRY
+
+
+def _run_drill(dataset, queries, fault_plan=None, fpga=None,
+               retry_policy=None):
+    ctx = RunContext(
+        fpga=fpga or FpgaConfig(),
+        fault_plan=fault_plan,
+        retry_policy=retry_policy or RetryPolicy(),
+    )
+    outs = {}
+    for name in queries:
+        q = get_query(name)
+        outs[name] = REGISTRY.get("fast-share").run(
+            ctx, q.graph, dataset.graph
+        )
+    return outs
+
+
+def test_counts_exact_under_default_faults(benchmark, config,
+                                           mini_dataset):
+    queries = ["q0", "q1", "q2"]
+    baseline = _run_drill(mini_dataset, queries)
+    faulty = run_once(
+        benchmark, _run_drill, mini_dataset, queries,
+        FaultPlan(seed=11),
+    )
+    for name in queries:
+        assert faulty[name].embeddings == baseline[name].embeddings
+        assert faulty[name].verdict == "OK"
+    retries = sum(f.health["retries"] for f in faulty.values())
+    print(f"\nretries across {len(queries)} queries: {retries}")
+
+
+def test_ladder_recovers_exactly_under_hot_faults(benchmark,
+                                                  micro_dataset):
+    """A plan hotter than the retry budget: the re-partition and
+    CPU-fallback rungs engage, the run reports degraded, and the
+    count still matches."""
+    fpga = FpgaConfig(bram_bytes=8 * 1024, batch_size=128,
+                      max_ports=32)
+    queries = ["q0", "q2"]
+    baseline = _run_drill(micro_dataset, queries, fpga=fpga)
+    hot = FaultPlan(seed=5, rates={"kernel_timeout": 0.5},
+                    max_consecutive=6)
+    faulty = run_once(
+        benchmark, _run_drill, micro_dataset, queries, hot, fpga,
+        RetryPolicy(max_retries=2),
+    )
+    degraded = 0
+    for name in queries:
+        assert faulty[name].embeddings == baseline[name].embeddings
+        health = faulty[name].health
+        degraded += health["repartitions"] + health["fallbacks"]
+        # Recovery cost must show up in the modeled time, not vanish.
+        assert faulty[name].seconds >= baseline[name].seconds
+    assert degraded > 0
+    print(f"\nladder actions (repartitions + fallbacks): {degraded}")
+
+
+def test_harness_surfaces_degraded_runs(benchmark, micro_dataset):
+    """run_grid marks degraded-but-exact rows (rendered with a *)."""
+    from repro.experiments.harness import HarnessConfig, run_grid
+
+    cfg = HarnessConfig(
+        fpga=FpgaConfig(bram_bytes=8 * 1024, batch_size=128,
+                        max_ports=32),
+        fault_seed=5,
+        fault_rates=(("kernel_timeout", 0.5),),
+        max_retries=0,  # any burst exhausts -> ladder engages
+    )
+    ctx = make_context(cfg)
+    rows = run_once(
+        benchmark, run_grid, ["FAST-SEP"], ["DG-MICRO"], ["q0", "q2"],
+        cfg, ctx,
+    )
+    assert all(r.verdict == "OK" for r in rows)
+    assert any(r.degraded for r in rows)
+    starred = [r for r in rows if "*" in str(r.cells()[3])]
+    assert starred == [r for r in rows if r.degraded]

@@ -81,6 +81,9 @@ from repro.runtime import (
     REGISTRY,
     BackendRegistry,
     BackendSpec,
+    FaultPlan,
+    HealthReport,
+    RetryPolicy,
     RunContext,
     RunMetrics,
     RunOutcome,
@@ -99,11 +102,13 @@ __all__ = [
     "FastEngine",
     "FastRunResult",
     "FastRunner",
+    "FaultPlan",
     "FpgaConfig",
     "GpSM",
     "Graph",
     "GraphBuilder",
     "Gsi",
+    "HealthReport",
     "KernelReport",
     "Label",
     "LdbcGenerator",
@@ -113,6 +118,7 @@ __all__ = [
     "PartitionLimits",
     "QueryGraph",
     "REGISTRY",
+    "RetryPolicy",
     "RunContext",
     "RunMetrics",
     "RunOutcome",

@@ -12,6 +12,13 @@ shorthand for the five FAST variants), ``compare`` pits any set of
 registered backends against each other, ``info`` prints Table III-style
 dataset statistics, and ``backends`` lists every registered backend
 with its declared capabilities.
+
+``match`` and ``compare`` accept ``--fault-seed`` / ``--max-retries``
+to run under an injected-fault schedule (docs/robustness.md). Failure
+verdicts exit with a one-line message and a distinct code instead of a
+traceback: 3 = OOM, 4 = INF, 5 = OVERFLOW, 6 = fatal runtime error
+(1 stays the embedding-count-disagreement code of ``compare``, 2 the
+usage-error code).
 """
 
 from __future__ import annotations
@@ -19,7 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.common.errors import BackendError
+from repro.common.errors import BackendError, ReproError, ResourceExhausted
 from repro.common.tables import render_kv, render_table
 from repro.experiments.harness import HarnessConfig, make_context
 from repro.host.runtime import RUNNER_VARIANTS, FastRunResult
@@ -28,6 +35,32 @@ from repro.ldbc.queries import QUERY_NAMES, get_query
 from repro.runtime.registry import REGISTRY, RunOutcome
 
 _ALL_DATASETS = sorted({**DATASET_SCALES, **MICRO_SCALES})
+
+#: Distinct exit code per modeled resource-exhaustion verdict.
+VERDICT_EXIT_CODES = {"OOM": 3, "INF": 4, "OVERFLOW": 5}
+
+#: Exit code for fatal (non-verdict) runtime failures, e.g. every
+#: device in a multi-FPGA pool dying.
+EXIT_FATAL = 6
+
+
+def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="inject deterministic device faults from "
+                             "this seed (see docs/robustness.md)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="transient-fault retry budget per "
+                             "partition (default: 3)")
+
+
+def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
+    return HarnessConfig(
+        fault_seed=args.fault_seed,
+        max_retries=args.max_retries,
+        **kwargs,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(see `repro backends`)")
     match.add_argument("--delta", type=float, default=0.1,
                        help="CPU workload share threshold")
+    _add_fault_flags(match)
 
     compare = sub.add_parser("compare",
                              help="registered backends on one query")
@@ -61,6 +95,7 @@ def build_parser() -> argparse.ArgumentParser:
                          default=["CFL", "DAF", "CECI", "FAST"],
                          metavar="BACKEND",
                          help="registered backend names or aliases")
+    _add_fault_flags(compare)
 
     info = sub.add_parser("info", help="dataset statistics (Table III)")
     info.add_argument("--dataset", default="DG01", choices=_ALL_DATASETS)
@@ -68,6 +103,21 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("backends",
                    help="list registered backends and capabilities")
     return parser
+
+
+def _health_summary(health: dict) -> str | None:
+    """One-cell health digest, or None for a clean, fault-free run."""
+    if not health:
+        return None
+    if not health.get("degraded") and not health.get("retries"):
+        return None
+    return (
+        f"degraded={health.get('degraded', False)} "
+        f"retries={health.get('retries', 0)} "
+        f"repartitions={health.get('repartitions', 0)} "
+        f"fallbacks={health.get('fallbacks', 0)} "
+        f"failovers={health.get('failovers', 0)}"
+    )
 
 
 def _fast_rows(result: FastRunResult) -> list[tuple[str, object]]:
@@ -90,6 +140,9 @@ def _fast_rows(result: FastRunResult) -> list[tuple[str, object]]:
             "cst_cache",
             f"{cst.get('hits', 0)} hits / {cst.get('misses', 0)} misses",
         ))
+        health = _health_summary(result.metrics.health.to_dict())
+        if health is not None:
+            rows.append(("health", health))
     return rows
 
 
@@ -103,9 +156,21 @@ def _outcome_rows(out: RunOutcome) -> list[tuple[str, object]]:
         rows.append((
             f"{name}_modeled_ms", stage.get("modeled_seconds", 0.0) * 1e3
         ))
+    health = _health_summary(out.health)
+    if health is not None:
+        rows.append(("health", health))
     if out.detail:
         rows.append(("detail", out.detail))
     return rows
+
+
+def _verdict_exit(backend: str, verdict: str, detail: str = "") -> int:
+    """One-line verdict message on stderr plus its distinct exit code."""
+    line = f"{backend}: {verdict}"
+    if detail:
+        line = f"{line} ({detail})"
+    print(line, file=sys.stderr)
+    return VERDICT_EXIT_CODES.get(verdict, EXIT_FATAL)
 
 
 def cmd_match(args: argparse.Namespace) -> int:
@@ -117,8 +182,14 @@ def cmd_match(args: argparse.Namespace) -> int:
         return 2
     dataset = load_dataset(args.dataset)
     query = get_query(args.query)
-    ctx = make_context(HarnessConfig(delta=args.delta))
-    out = spec.run(ctx, query.graph, dataset.graph)
+    ctx = make_context(_harness_config(args, delta=args.delta))
+    try:
+        out = spec.run(ctx, query.graph, dataset.graph)
+    except ResourceExhausted as exc:
+        return _verdict_exit(spec.name, exc.verdict, str(exc))
+    except ReproError as exc:
+        print(f"{spec.name}: fatal: {exc}", file=sys.stderr)
+        return EXIT_FATAL
     rows = (
         _fast_rows(out.raw) if isinstance(out.raw, FastRunResult)
         else _outcome_rows(out)
@@ -126,6 +197,8 @@ def cmd_match(args: argparse.Namespace) -> int:
     print(render_kv(
         f"{spec.name} {args.query} on {args.dataset}", rows
     ))
+    if not out.ok:
+        return _verdict_exit(spec.name, out.verdict, out.detail)
     return 0
 
 
@@ -135,19 +208,37 @@ def cmd_compare(args: argparse.Namespace) -> int:
     except BackendError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    ctx = make_context(HarnessConfig())
+    ctx = make_context(_harness_config(args))
     dataset = load_dataset(args.dataset)
     query = get_query(args.query)
     rows = []
     counts = set()
+    failure_code = 0
     for name, spec in zip(args.algorithms, specs):
-        out = spec.run(ctx, query.graph, dataset.graph)
+        try:
+            out = spec.run(ctx, query.graph, dataset.graph)
+        except ResourceExhausted as exc:
+            rows.append([name, exc.verdict, "-"])
+            failure_code = failure_code or VERDICT_EXIT_CODES.get(
+                exc.verdict, EXIT_FATAL
+            )
+            continue
+        except ReproError as exc:
+            print(f"{name}: fatal: {exc}", file=sys.stderr)
+            rows.append([name, "FATAL", "-"])
+            failure_code = failure_code or EXIT_FATAL
+            continue
         if out.ok:
             counts.add(out.embeddings)
-            rows.append([name, f"{out.seconds * 1e3:.3f}",
-                         out.embeddings])
+            time_cell = f"{out.seconds * 1e3:.3f}"
+            if out.degraded:
+                time_cell = f"{time_cell}*"  # recovered via degradation
+            rows.append([name, time_cell, out.embeddings])
         else:
             rows.append([name, out.verdict, "-"])
+            failure_code = failure_code or VERDICT_EXIT_CODES.get(
+                out.verdict, EXIT_FATAL
+            )
     print(render_table(
         ["algorithm", "time_ms", "embeddings"], rows,
         title=f"{args.query} on {args.dataset}",
@@ -156,7 +247,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         print(f"warning: embedding count disagreement: {counts}",
               file=sys.stderr)
         return 1
-    return 0
+    return failure_code
 
 
 def cmd_info(args: argparse.Namespace) -> int:

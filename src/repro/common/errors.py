@@ -11,6 +11,12 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""
 
+    #: Whether retrying the failed operation can possibly succeed.
+    #: Transient errors are retried by the execute-stage supervisor
+    #: under its :class:`~repro.runtime.faults.RetryPolicy`; fatal
+    #: errors propagate immediately.
+    transient = False
+
 
 class GraphError(ReproError):
     """A graph is malformed or an operation received an invalid vertex."""
@@ -39,6 +45,49 @@ class BufferOverflowError(DeviceError):
     never happen; seeing it means either the policy was disabled or the
     buffer was sized below ``(|V(q)| - 1) * N_o``.
     """
+
+
+class TransientDeviceError(DeviceError):
+    """A device fault that may clear on retry (transient-vs-fatal split).
+
+    The execute-stage supervisor catches this hierarchy, applies
+    bounded retries with backoff, and walks the degradation ladder
+    (re-partition, then CPU fallback) when retries exhaust. Anything
+    that is a plain :class:`DeviceError` is fatal and propagates.
+    """
+
+    transient = True
+    #: Fault-plan kind this error corresponds to (see
+    #: :data:`repro.runtime.faults.FAULT_KINDS`).
+    kind = "device_unavailable"
+
+
+class DeviceUnavailableError(TransientDeviceError):
+    """The device did not respond to a launch (driver reset, busy)."""
+
+    kind = "device_unavailable"
+
+
+class PcieTransferError(TransientDeviceError):
+    """A host<->card DMA transfer failed or was corrupted in flight."""
+
+    kind = "pcie_error"
+
+
+class KernelTimeoutError(TransientDeviceError):
+    """A kernel launch exceeded its watchdog budget (device hang)."""
+
+    kind = "kernel_timeout"
+
+
+class BramSoftError(TransientDeviceError):
+    """A BRAM soft error (bit flip) invalidated a kernel's results."""
+
+    kind = "bram_soft_error"
+
+
+class FatalDeviceError(DeviceError):
+    """No recovery path remains (e.g. every device in a pool died)."""
 
 
 class SchedulerError(ReproError):

@@ -30,6 +30,7 @@ from repro.ldbc.datasets import load_dataset
 from repro.ldbc.generator import LdbcDataset
 from repro.ldbc.queries import BenchmarkQuery, all_queries, get_query
 from repro.runtime.context import RunContext, StageCache
+from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.runtime.registry import REGISTRY
 
 #: The paper's display names for the Section VII systems, resolvable
@@ -53,6 +54,14 @@ class HarnessConfig:
     #: Enable the stage-level CST/partition cache in contexts built
     #: from this config (``use_cache`` governs the *dataset* cache).
     stage_cache: bool = True
+    #: Seed of the injected-fault schedule; ``None`` (the default)
+    #: runs fault-free. See :class:`repro.runtime.faults.FaultPlan`.
+    fault_seed: int | None = None
+    #: Per-kind fault rates overriding the plan's defaults.
+    fault_rates: tuple[tuple[str, float], ...] | None = None
+    #: Retry budget for transient device faults (``None`` keeps the
+    #: :class:`~repro.runtime.faults.RetryPolicy` default).
+    max_retries: int | None = None
 
 
 def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
@@ -76,6 +85,9 @@ def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
         seed=base.seed,
         use_cache=base.use_cache,
         stage_cache=base.stage_cache,
+        fault_seed=base.fault_seed,
+        fault_rates=base.fault_rates,
+        max_retries=base.max_retries,
     )
 
 
@@ -89,12 +101,17 @@ class RunRow:
     verdict: str
     seconds: float
     embeddings: int
+    #: Whether the run recovered through the degradation ladder
+    #: (re-partition / CPU fallback / device failover).
+    degraded: bool = False
 
     def cells(self) -> list[object]:
         time_cell = (
             f"{self.seconds * 1e3:,.3f}" if self.verdict == "OK"
             else self.verdict
         )
+        if self.degraded and self.verdict == "OK":
+            time_cell = f"{time_cell}*"  # degraded but exact (see docs)
         return [self.dataset, self.query, self.algorithm, time_cell,
                 self.embeddings if self.verdict == "OK" else "-"]
 
@@ -113,12 +130,27 @@ def make_context(
         # Explicit None check: an *empty* StageCache is falsy (it has
         # __len__), and it must still be shared, not replaced.
         cache = StageCache(enabled=config.stage_cache)
+    fault_plan = None
+    if config.fault_seed is not None or config.fault_rates is not None:
+        fault_plan = FaultPlan(
+            seed=config.fault_seed or 0,
+            rates=(
+                dict(config.fault_rates)
+                if config.fault_rates is not None else None
+            ),
+        )
+    retry_policy = (
+        RetryPolicy() if config.max_retries is None
+        else RetryPolicy(max_retries=config.max_retries)
+    )
     return RunContext(
         fpga=config.fpga,
         cpu_cost=config.cpu_cost,
         limits=config.limits,
         delta=config.delta,
         seed=config.seed,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
         cache=cache,
     )
 
@@ -193,17 +225,17 @@ def run_grid(
     for dataset in resolve_datasets(dataset_names, config):
         for query in queries:
             for name in algorithm_names:
-                runner = make_runner(name, config, context=context)
-                verdict, seconds, embeddings = runner(
-                    query.graph, dataset.graph
+                out = resolve_backend(name).run(
+                    context, query.graph, dataset.graph
                 )
                 rows.append(RunRow(
                     dataset=dataset.name,
                     query=query.name,
                     algorithm=name,
-                    verdict=verdict,
-                    seconds=seconds,
-                    embeddings=embeddings,
+                    verdict=out.verdict,
+                    seconds=out.seconds,
+                    embeddings=out.embeddings,
+                    degraded=out.degraded,
                 ))
     return rows
 

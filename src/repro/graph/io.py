@@ -41,7 +41,7 @@ def load_text(path: str | os.PathLike[str]) -> Graph:
     """
     path = Path(path)
     labels: dict[int, int] = {}
-    edges: list[tuple[int, int]] = []
+    edges: list[tuple[int, int, int]] = []  # (u, v, source line)
     with path.open("r", encoding="utf-8") as f:
         for lineno, raw in enumerate(f, start=1):
             line = raw.strip()
@@ -54,11 +54,23 @@ def load_text(path: str | os.PathLike[str]) -> Graph:
             if kind == "v":
                 if len(parts) != 3:
                     raise GraphError(f"{path}:{lineno}: malformed vertex line")
-                labels[int(parts[1])] = int(parts[2])
+                try:
+                    labels[int(parts[1])] = int(parts[2])
+                except ValueError:
+                    raise GraphError(
+                        f"{path}:{lineno}: non-integer vertex field "
+                        f"in {line!r}"
+                    ) from None
             elif kind == "e":
                 if len(parts) < 3:
                     raise GraphError(f"{path}:{lineno}: malformed edge line")
-                edges.append((int(parts[1]), int(parts[2])))
+                try:
+                    edges.append((int(parts[1]), int(parts[2]), lineno))
+                except ValueError:
+                    raise GraphError(
+                        f"{path}:{lineno}: non-integer edge endpoint "
+                        f"in {line!r}"
+                    ) from None
             else:
                 raise GraphError(
                     f"{path}:{lineno}: unknown record type {kind!r}"
@@ -68,8 +80,11 @@ def load_text(path: str | os.PathLike[str]) -> Graph:
         raise GraphError(f"{path}: vertex ids are not dense 0..{n - 1}")
     builder = GraphBuilder()
     builder.add_vertices([labels[v] for v in range(n)])
-    for u, v in edges:
-        builder.add_edge(u, v)
+    for u, v, lineno in edges:
+        try:
+            builder.add_edge(u, v)
+        except GraphError as exc:
+            raise GraphError(f"{path}:{lineno}: {exc}") from None
     return builder.build()
 
 

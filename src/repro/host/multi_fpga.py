@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.common.errors import DeviceError
+from repro.common.errors import DeviceError, FatalDeviceError
 from repro.costs.cpu import CpuCostModel
 from repro.cst.structure import ENTRY_BYTES
 from repro.cst.workload import estimate_workload
@@ -33,6 +33,7 @@ from repro.graph.graph import Graph
 from repro.host.pcie import PcieLink
 from repro.query.query_graph import QueryGraph
 from repro.runtime.context import RunContext, RunMetrics
+from repro.runtime.faults import DEVICE_DEAD, FaultEvent
 from repro.runtime.stages import (
     build_cst_stage,
     cached_partition_list,
@@ -68,6 +69,11 @@ class MultiFpgaResult:
     devices: list[DeviceLoad]
     num_partitions: int
     metrics: RunMetrics | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any device died and its queue was redistributed."""
+        return self.metrics is not None and self.metrics.health.degraded
 
     @property
     def load_imbalance(self) -> float:
@@ -149,7 +155,48 @@ class MultiFpgaRunner:
                 csts_per_device=tuple(d.num_csts for d in devices),
             )
 
+        health = ctx.health
+        fplan = ctx.fault_plan
+        dead = set()
+        if fplan is not None:
+            dead = {d.index for d in devices if fplan.device_dead(d.index)}
+            if dead and len(dead) == len(devices):
+                raise FatalDeviceError(
+                    f"all {self.num_devices} devices failed; no survivor "
+                    f"to redistribute to"
+                )
+        for device in devices:
+            health.mark_device(
+                device.index, "dead" if device.index in dead else "ok"
+            )
+
         with ctx.stage("execute") as st:
+            if dead:
+                # Partition independence (Definition 2) makes failover
+                # trivial: a dead device's queue redistributes to the
+                # survivors with minimum accumulated workload, exactly
+                # the Section VII-E assignment rule re-applied.
+                survivors = [d for d in devices if d.index not in dead]
+                for device in devices:
+                    if device.index not in dead:
+                        continue
+                    for part in assignment[device.index]:
+                        target = min(
+                            survivors, key=lambda d: (d.workload, d.index)
+                        )
+                        target.workload += estimate_workload(part)
+                        target.num_csts += 1
+                        assignment[target.index].append(part)
+                        health.record(FaultEvent(
+                            kind=DEVICE_DEAD,
+                            scope=("device", device.index),
+                            attempt=0,
+                            action="failover",
+                            device=target.index,
+                        ))
+                    assignment[device.index] = []
+                    device.workload = 0.0
+                    device.num_csts = 0
             for device in devices:
                 if not assignment[device.index]:
                     continue
@@ -172,6 +219,7 @@ class MultiFpgaRunner:
             st.note(
                 makespan_seconds=makespan,
                 device_seconds=tuple(d.seconds for d in devices),
+                dead_devices=tuple(sorted(dead)),
             )
 
         with ctx.stage("merge") as st:

@@ -78,8 +78,13 @@ class FastRunResult:
     cst_bytes: int = 0
     partition_stats: object = None
     #: Structured per-stage metrics of this run (wall + modeled times,
-    #: cache hit flags, workload shape); see docs/runtime.md.
+    #: cache hit flags, workload shape, health); see docs/runtime.md.
     metrics: RunMetrics | None = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether recovery changed the planned CPU/FPGA placement."""
+        return self.metrics is not None and self.metrics.health.degraded
 
     def summary(self) -> dict[str, object]:
         return {
@@ -152,13 +157,18 @@ class FastRunner:
         if self.variant == "dram":
             engine_variant = "dram"
             work = passthrough_partition_stage(ctx, cst)
+            # The whole CST sits in card DRAM un-partitioned; there is
+            # no delta_S to tighten, so the fault supervisor's ladder
+            # skips re-partitioning and falls straight to the CPU.
+            limits = None
         else:
             engine_variant = (
                 "sep" if self.variant == "share" else self.variant
             )
+            limits = ctx.fpga.partition_limits(plan.query)
             work = partition_stage(
                 ctx, data, cst, plan,
-                limits=ctx.fpga.partition_limits(plan.query),
+                limits=limits,
                 k_policy=self.k_policy,
                 split_policy=self.split_policy,
                 delta=self.delta if self.variant == "share" else 0.0,
@@ -171,6 +181,7 @@ class FastRunner:
             collect_results=collect_results,
             cpu_share_threads=self.cpu_share_threads,
             cpu_thread_efficiency=self.cpu_thread_efficiency,
+            limits=limits,
         )
         merged = merge_stage(ctx, executed, collect_results)
         metrics = ctx.finish_run()

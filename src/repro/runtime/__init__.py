@@ -22,6 +22,13 @@ from repro.runtime.context import (
     StageCache,
     StageMetrics,
 )
+from repro.runtime.faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    HealthReport,
+    RetryPolicy,
+)
 from repro.runtime.stages import (
     ExecuteOutcome,
     MergedRun,
@@ -45,10 +52,15 @@ _REGISTRY_EXPORTS = (
 )
 
 __all__ = [
+    "FAULT_KINDS",
     "STAGES",
     "CacheStats",
     "ExecuteOutcome",
+    "FaultEvent",
+    "FaultPlan",
+    "HealthReport",
     "MergedRun",
+    "RetryPolicy",
     "RunContext",
     "RunMetrics",
     "ScheduledWork",

@@ -25,6 +25,7 @@ from repro.costs.cpu import CpuCostModel, OpCounters
 from repro.costs.resources import ResourceLimits
 from repro.fpga.config import FpgaConfig
 from repro.graph.graph import Graph
+from repro.runtime.faults import FaultPlan, HealthReport, RetryPolicy
 
 #: Canonical stage order of the pipeline (documented in docs/runtime.md).
 STAGES = ("plan", "build_cst", "partition", "schedule", "execute", "merge")
@@ -65,6 +66,9 @@ class RunMetrics:
     backend: str
     stages: dict[str, StageMetrics] = field(default_factory=dict)
     cache: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Robustness record: faults seen, retries, fallbacks, device
+    #: status (see :class:`repro.runtime.faults.HealthReport`).
+    health: HealthReport = field(default_factory=HealthReport)
 
     def stage(self, name: str) -> StageMetrics:
         """The metrics bucket for ``name``, created on first use."""
@@ -86,6 +90,7 @@ class RunMetrics:
             "backend": self.backend,
             "stages": {n: s.to_dict() for n, s in self.stages.items()},
             "cache": self.cache,
+            "health": self.health.to_dict(),
             "totals": {
                 "wall_seconds": self.wall_seconds,
                 "modeled_seconds": self.modeled_seconds,
@@ -180,6 +185,12 @@ class RunContext:
     limits: ResourceLimits = field(default_factory=ResourceLimits)
     delta: float = 0.1
     seed: int = 7
+    #: Injected-fault schedule; ``None`` (the default) runs fault-free
+    #: with zero overhead on the happy path.
+    fault_plan: FaultPlan | None = None
+    #: Retry/backoff budget the execute-stage supervisor applies to
+    #: transient device errors.
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     cache: StageCache = field(default_factory=StageCache)
     metrics: RunMetrics | None = None
     history: list[RunMetrics] = field(default_factory=list)
@@ -205,6 +216,11 @@ class RunContext:
         if self.metrics is None:
             self.metrics = RunMetrics(backend="ad-hoc")
         return self.metrics
+
+    @property
+    def health(self) -> HealthReport:
+        """The current run's robustness record."""
+        return self.current_metrics.health
 
     @contextmanager
     def stage(self, name: str) -> Iterator[StageMetrics]:

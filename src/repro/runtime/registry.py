@@ -56,6 +56,18 @@ class RunOutcome:
     def ok(self) -> bool:
         return self.verdict == "OK"
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the run recovered by deviating from its plan
+        (re-partition, CPU fallback, or device failover)."""
+        health = self.metrics.get("health") or {}
+        return bool(health.get("degraded"))
+
+    @property
+    def health(self) -> dict[str, Any]:
+        """The run's health block (empty dict for health-less runs)."""
+        return self.metrics.get("health") or {}
+
 
 #: Backend entry point: ``(ctx, query, data, **kwargs) -> RunOutcome``.
 BackendRunner = Callable[..., RunOutcome]

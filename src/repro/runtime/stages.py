@@ -34,6 +34,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.errors import (
+    PartitionError,
+    TransientDeviceError,
+)
 from repro.costs.cpu import OpCounters
 from repro.cst.builder import build_cst
 from repro.cst.partition import (
@@ -54,7 +58,8 @@ from repro.host.scheduler import WorkloadScheduler
 from repro.query.ordering import path_based_order
 from repro.query.query_graph import QueryGraph, as_query
 from repro.query.spanning_tree import SpanningTree, build_bfs_tree, choose_root
-from repro.runtime.context import RunContext
+from repro.runtime.context import RunContext, StageMetrics
+from repro.runtime.faults import FAULT_ERRORS, FaultEvent
 
 
 @dataclass(frozen=True)
@@ -86,13 +91,22 @@ class ScheduledWork:
 
 @dataclass
 class ExecuteOutcome:
-    """Output of the ``execute`` stage."""
+    """Output of the ``execute`` stage.
+
+    ``fault_overhead_seconds`` is the modeled cost of recovery (wasted
+    transfers/kernel work plus backoff) on the FPGA side of the
+    overlap rule; ``fallback_seconds`` is the host time of partitions
+    re-routed to the CPU matcher after exhausting retries. Both are
+    exactly zero when no fault plan is active.
+    """
 
     kernel: KernelReport
     cpu_embeddings: int = 0
     cpu_results: list[tuple[int, ...]] = field(default_factory=list)
     pcie_seconds: float = 0.0
     cpu_share_seconds: float = 0.0
+    fault_overhead_seconds: float = 0.0
+    fallback_seconds: float = 0.0
 
 
 @dataclass
@@ -115,13 +129,22 @@ def cached_partition_list(
     limits: PartitionLimits,
     k_policy: int | str = "greedy",
     split_policy: str = "order",
+    extra_key: tuple = (),
 ) -> tuple[list[CST], PartitionStats, bool]:
     """Pure Algorithm 2, memoized per ``(graph, query, order, delta_S,
-    delta_D, policies)``; returns ``(parts, stats, was_cached)``."""
+    delta_D, policies)``; returns ``(parts, stats, was_cached)``.
+
+    The default key assumes ``cst`` is the full Algorithm 1 output for
+    ``(data, query)``. Callers partitioning a *sub*-CST (the fault
+    supervisor re-splitting one failed partition) must pass a
+    distinguishing ``extra_key``, since the sub-CST is not a function
+    of the base key alone.
+    """
     key = (
         data, plan.query.graph, plan.order,
         limits.max_bytes, limits.max_degree,
         str(k_policy), split_policy,
+        *extra_key,
     )
     (parts, stats), cached = ctx.cache.get_or_build(
         "partition", key,
@@ -270,6 +293,110 @@ def schedule_stage(ctx: RunContext, work: ScheduledWork) -> ScheduledWork:
     return work
 
 
+def _attempt_partition(
+    ctx: RunContext,
+    st: StageMetrics,
+    engine: FastEngine,
+    link: PcieLink,
+    part: CST,
+    scope: tuple,
+    match_plan: MatchPlan,
+    collect_results: bool,
+) -> tuple[KernelReport | None, float, float, str | None]:
+    """One partition under the retry policy.
+
+    Each attempt replays the full launch sequence (device check, PCIe
+    transfer, kernel) against the fault plan; transient errors back
+    off and retry, with the backoff charged to both wall and modeled
+    time. Returns ``(report, pcie_seconds, overhead_seconds,
+    last_fault_kind)`` where ``report`` is ``None`` once the retry
+    budget is exhausted (the caller walks the degradation ladder).
+    """
+    policy = ctx.retry_policy
+    fplan = ctx.fault_plan
+    health = ctx.health
+    fires = {
+        kind: fplan.fires(kind, *scope) if fplan is not None else 0
+        for kind in FAULT_ERRORS
+    }
+    pcie = 0.0
+    overhead = 0.0
+    attempt = 0
+    while True:
+        try:
+            if attempt < fires["device_unavailable"]:
+                raise FAULT_ERRORS["device_unavailable"](
+                    f"device unavailable at {scope}"
+                )
+            cost = link.send_to_card(part.size_bytes())
+            pcie += cost
+            if attempt < fires["pcie_error"]:
+                raise FAULT_ERRORS["pcie_error"](
+                    f"DMA transfer failed at {scope}"
+                )
+            report = engine.run(
+                part, collect_results=collect_results, plan=match_plan
+            )
+            if attempt < fires["kernel_timeout"]:
+                overhead += report.seconds
+                raise FAULT_ERRORS["kernel_timeout"](
+                    f"kernel watchdog expired at {scope}"
+                )
+            if attempt < fires["bram_soft_error"]:
+                overhead += report.seconds
+                raise FAULT_ERRORS["bram_soft_error"](
+                    f"BRAM soft error at {scope}"
+                )
+            return report, pcie, overhead, None
+        except TransientDeviceError as exc:
+            if attempt >= policy.max_retries:
+                return None, pcie, overhead, exc.kind
+            backoff = policy.backoff_seconds(
+                fplan.seed if fplan is not None else ctx.seed,
+                attempt, *scope,
+            )
+            health.record(FaultEvent(
+                kind=exc.kind, scope=scope, attempt=attempt,
+                action="retry", backoff_seconds=backoff,
+            ))
+            # Backoff is charged, not slept: it delays the modeled
+            # FPGA-side critical path and is booked as stage wall time.
+            overhead += backoff
+            st.wall_seconds += backoff
+            attempt += 1
+
+
+def _tightened_subpartitions(
+    ctx: RunContext,
+    data: Graph,
+    part: CST,
+    plan: StagePlan,
+    limits: PartitionLimits,
+    scope: tuple,
+) -> tuple[list[CST], PartitionStats] | None:
+    """Re-split a failed partition under a halved ``delta_S``.
+
+    Smaller pieces shorten kernel residency, so a partition that keeps
+    hitting watchdog-style faults gets another chance as several
+    quicker launches. Returns ``None`` when the partition cannot be
+    re-split (already minimal, or the tightened limits are infeasible).
+    """
+    tightened = PartitionLimits(
+        max_bytes=max(limits.max_bytes // 2, ENTRY_BYTES),
+        max_degree=limits.max_degree,
+    )
+    try:
+        parts, stats, _ = cached_partition_list(
+            ctx, data, part, plan, tightened,
+            extra_key=("faults", *scope, part.size_bytes()),
+        )
+    except PartitionError:
+        return None
+    if len(parts) <= 1:
+        return None
+    return parts, stats
+
+
 def execute_stage(
     ctx: RunContext,
     plan: StagePlan,
@@ -279,14 +406,31 @@ def execute_stage(
     collect_results: bool = False,
     cpu_share_threads: int = 8,
     cpu_thread_efficiency: float = 0.45,
+    limits: PartitionLimits | None = None,
 ) -> ExecuteOutcome:
     """Kernel over FPGA partitions + basic matcher over CPU partitions.
 
     The stage's modeled time follows the Section V-C overlap rule:
-    ``max(cpu_share, pcie + kernel)``.
+    ``max(cpu_share, pcie + kernel)``. With a fault plan active on the
+    context, every FPGA partition runs under a supervisor implementing
+    the degradation ladder (see docs/robustness.md):
+
+    1. transient faults retry under ``ctx.retry_policy`` (backoff
+       charged to wall and modeled time);
+    2. a partition that exhausts retries is re-partitioned under a
+       tightened ``delta_S`` (when ``limits`` is given and the piece is
+       splittable) and each sub-partition retried;
+    3. anything still failing is re-routed to the CPU matcher, which
+       is exact on any CST partition (Theorem 1), so embedding counts
+       are identical under every recoverable fault schedule.
+
+    Recovery costs are charged as ``fault_overhead_seconds`` on the
+    FPGA side of the overlap and ``fallback_seconds`` after it; both
+    are exactly zero — and the arithmetic unchanged — without faults.
     """
     cfg = ctx.fpga
     q = plan.query
+    policy = ctx.retry_policy
     with ctx.stage("execute") as st:
         engine = FastEngine(cfg, engine_variant)
         link = PcieLink(cfg)
@@ -295,13 +439,48 @@ def execute_stage(
         )
         if collect_results:
             kernel_total.results = []
+        health = ctx.health
+        health.device_status.setdefault(0, "ok")
         pcie_seconds = 0.0
-        for part in work.fpga_parts:
-            pcie_seconds += link.send_to_card(part.size_bytes())
-            kernel_total.merge(engine.run(
-                part, collect_results=collect_results,
-                plan=plan.match_plan,
+        fault_overhead = 0.0
+        fallback_parts: list[CST] = []
+
+        def supervise(part: CST, scope: tuple,
+                      may_repartition: bool) -> None:
+            nonlocal pcie_seconds, fault_overhead
+            report, pcie, overhead, last_kind = _attempt_partition(
+                ctx, st, engine, link, part, scope,
+                plan.match_plan, collect_results,
+            )
+            pcie_seconds += pcie
+            fault_overhead += overhead
+            if report is not None:
+                kernel_total.merge(report)
+                return
+            if may_repartition and limits is not None:
+                split = _tightened_subpartitions(
+                    ctx, data, part, plan, limits, scope
+                )
+                if split is not None:
+                    subparts, stats = split
+                    health.record(FaultEvent(
+                        kind=last_kind, scope=scope,
+                        attempt=policy.max_retries, action="repartition",
+                    ))
+                    fault_overhead += ctx.host_seconds(
+                        stats.total_bytes // ENTRY_BYTES, data
+                    )
+                    for j, sub in enumerate(subparts):
+                        supervise(sub, (*scope, j), False)
+                    return
+            health.record(FaultEvent(
+                kind=last_kind, scope=scope,
+                attempt=policy.max_retries, action="cpu_fallback",
             ))
+            fallback_parts.append(part)
+
+        for idx, part in enumerate(work.fpga_parts):
+            supervise(part, ("partition", idx), True)
 
         cpu_counters = CpuMatchCounters()
         cpu_embeddings = 0
@@ -325,12 +504,38 @@ def execute_stage(
             1.0, cpu_share_threads * cpu_thread_efficiency
         )
 
+        # Fallback partitions run on the host *after* their FPGA
+        # attempts failed, so their time cannot hide in the overlap
+        # window; it is charged on top of the stage total.
+        fallback_counters = CpuMatchCounters()
+        for part in fallback_parts:
+            found = cst_embeddings(
+                part, plan.order, counters=fallback_counters
+            )
+            cpu_embeddings += len(found)
+            if collect_results:
+                cpu_results.extend(found)
+        fallback_serial = ctx.cpu_cost.seconds(
+            OpCounters(
+                recursive_calls=fallback_counters.recursive_calls,
+                extensions=fallback_counters.extensions_generated,
+                edge_checks=fallback_counters.edge_checks,
+                embeddings=fallback_counters.embeddings,
+            ),
+            data.average_degree(),
+            data.num_vertices,
+        )
+        fallback_seconds = fallback_serial / max(
+            1.0, cpu_share_threads * cpu_thread_efficiency
+        )
+
         pcie_seconds += link.fetch_from_card(
             kernel_total.embeddings * q.num_vertices * ENTRY_BYTES
         )
         st.modeled_seconds += max(
-            cpu_share_seconds, pcie_seconds + kernel_total.seconds
-        )
+            cpu_share_seconds,
+            pcie_seconds + kernel_total.seconds + fault_overhead,
+        ) + fallback_seconds
         st.note(
             kernel_seconds=kernel_total.seconds,
             pcie_seconds=pcie_seconds,
@@ -341,6 +546,8 @@ def execute_stage(
             M=kernel_total.total_edge_tasks,
             buffer_peak=max(kernel_total.buffer_peaks.values(), default=0),
             num_csts=kernel_total.num_csts,
+            fault_overhead_seconds=fault_overhead,
+            fallback_seconds=fallback_seconds,
         )
     return ExecuteOutcome(
         kernel=kernel_total,
@@ -348,6 +555,8 @@ def execute_stage(
         cpu_results=cpu_results,
         pcie_seconds=pcie_seconds,
         cpu_share_seconds=cpu_share_seconds,
+        fault_overhead_seconds=fault_overhead,
+        fallback_seconds=fallback_seconds,
     )
 
 

@@ -4,7 +4,44 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_FATAL, VERDICT_EXIT_CODES, build_parser, main
+from repro.common.errors import FatalDeviceError, ModeledOutOfMemory
+from repro.runtime.registry import REGISTRY, BackendSpec
+
+
+@pytest.fixture()
+def scratch_registry():
+    """Snapshot the global registry; restore after the test so
+    test-only backends never leak into other test modules (the
+    integration suite iterates every registered backend)."""
+    specs, aliases = dict(REGISTRY._specs), dict(REGISTRY._aliases)
+    try:
+        yield REGISTRY
+    finally:
+        REGISTRY._specs.clear()
+        REGISTRY._specs.update(specs)
+        REGISTRY._aliases.clear()
+        REGISTRY._aliases.update(aliases)
+
+
+def _register_failing_backend(name: str, exc: Exception) -> None:
+    """Register a backend that always raises ``exc`` (idempotent)."""
+    if name in REGISTRY:
+        return
+
+    def run(ctx, query, data, **kwargs):
+        raise exc
+
+    REGISTRY.register(BackendSpec(
+        name=name,
+        summary="always-failing test double",
+        family="cpu",
+        cost_domain="cpu-ops",
+        needs_cst=False,
+        verdicts=("OOM",),
+        aliases=(),
+        run=run,
+    ))
 
 
 class TestParser:
@@ -12,6 +49,21 @@ class TestParser:
         args = build_parser().parse_args(["match"])
         assert args.dataset == "DG-MINI"
         assert args.variant == "share"
+        assert args.fault_seed is None
+        assert args.max_retries is None
+
+    def test_fault_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["match", "--fault-seed", "11", "--max-retries", "5"]
+        )
+        assert args.fault_seed == 11
+        assert args.max_retries == 5
+
+    def test_compare_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            ["compare", "--fault-seed", "3"]
+        )
+        assert args.fault_seed == 3
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
@@ -47,3 +99,56 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "num_vertices" in out
+
+    def test_match_under_recoverable_faults(self, capsys):
+        clean = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                      "--variant", "sep"])
+        clean_out = capsys.readouterr().out
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--variant", "sep", "--fault-seed", "3"])
+        out = capsys.readouterr().out
+        assert clean == 0 and rc == 0
+        # Same embedding count with and without injected faults.
+        count = next(line for line in clean_out.splitlines()
+                     if "embeddings" in line)
+        assert count in out
+
+
+class TestExitCodes:
+    def test_oom_verdict_exit_code(self, capsys, scratch_registry):
+        _register_failing_backend(
+            "test-oom", ModeledOutOfMemory("modeled heap exceeded")
+        )
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--backend", "test-oom"])
+        err = capsys.readouterr().err
+        assert rc == VERDICT_EXIT_CODES["OOM"] == 3
+        # One-line verdict on stderr, no traceback.
+        assert "OOM" in err
+        assert "Traceback" not in err
+
+    def test_fatal_error_exit_code(self, capsys, scratch_registry):
+        _register_failing_backend(
+            "test-fatal", FatalDeviceError("all devices failed")
+        )
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--backend", "test-fatal"])
+        err = capsys.readouterr().err
+        assert rc == EXIT_FATAL == 6
+        assert "fatal" in err
+        assert "Traceback" not in err
+
+    def test_compare_reports_verdict_rows(self, capsys, scratch_registry):
+        _register_failing_backend(
+            "test-oom", ModeledOutOfMemory("modeled heap exceeded")
+        )
+        rc = main(["compare", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--algorithms", "FAST", "test-oom"])
+        out = capsys.readouterr().out
+        assert rc == VERDICT_EXIT_CODES["OOM"]
+        assert "OOM" in out
+
+    def test_unknown_backend_is_usage_error(self, capsys):
+        rc = main(["match", "--backend", "no-such-backend"])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err

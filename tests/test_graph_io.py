@@ -50,6 +50,32 @@ class TestTextFormat:
         with pytest.raises(GraphError, match="dense"):
             load_text(path)
 
+    def test_non_integer_vertex_field_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("v 0 1\nv one 2\n")
+        with pytest.raises(GraphError, match=r"g\.txt:2: non-integer"):
+            load_text(path)
+
+    def test_non_integer_edge_field_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("v 0 1\nv 1 2\ne 0 x\n")
+        with pytest.raises(GraphError, match=r"g\.txt:3: non-integer"):
+            load_text(path)
+
+    def test_float_edge_field_rejected(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("v 0 1\nv 1 2\ne 0 1.5\n")
+        with pytest.raises(GraphError, match=r"g\.txt:3"):
+            load_text(path)
+
+    def test_edge_error_carries_line_number(self, tmp_path):
+        # Endpoint 9 does not exist: the builder error must be
+        # re-raised with the offending file location prepended.
+        path = tmp_path / "g.txt"
+        path.write_text("v 0 1\nv 1 2\ne 0 1\ne 0 9\n")
+        with pytest.raises(GraphError, match=r"g\.txt:4"):
+            load_text(path)
+
 
 class TestNpzFormat:
     def test_roundtrip(self, graph, tmp_path):
