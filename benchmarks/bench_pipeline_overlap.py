@@ -1,0 +1,198 @@
+"""Pipeline-overlap benchmark: serial vs. overlapped vs. threaded.
+
+Measures the execute stage's three operating points on a
+partition-stressed device (so the run actually has a long stream of
+FPGA partitions to pipeline):
+
+``serial``
+    ``workers=1, buffers=1`` — the original flat model and inline loop.
+``overlapped``
+    ``workers=1, buffers=2`` — modeled double-buffered transfer/compute
+    overlap, still single-threaded.
+``threaded``
+    ``workers=4, buffers=2`` — the worker pool on top of the overlap
+    model.
+
+Standalone usage (CI's perf-smoke job runs ``--check``)::
+
+    python benchmarks/bench_pipeline_overlap.py            # print JSON
+    python benchmarks/bench_pipeline_overlap.py --write    # refresh baseline
+    python benchmarks/bench_pipeline_overlap.py --check    # gate vs baseline
+
+``--check`` compares against the committed ``BENCH_overlap.json`` with a
+*ratio* gate: the current threaded speedup (serial wall / threaded wall)
+may not regress past ``REGRESSION_FACTOR`` times below the baseline's.
+Gating on the ratio rather than absolute wall time keeps the job
+meaningful across machines with different core counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments.harness import HarnessConfig, make_context, tight_config
+from repro.ldbc.datasets import load_dataset
+from repro.ldbc.queries import get_query
+from repro.runtime.registry import REGISTRY
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_overlap.json"
+
+#: Allowed threaded-speedup regression vs. the committed baseline.
+REGRESSION_FACTOR = 1.2
+
+DATASET = "DG-MINI"
+QUERY = "q1"
+BACKEND = "fast-share"
+
+#: The three operating points, in reporting order.
+MODES: dict[str, dict[str, int]] = {
+    "serial": {"workers": 1, "buffers": 1},
+    "overlapped": {"workers": 1, "buffers": 2},
+    "threaded": {"workers": 4, "buffers": 2},
+}
+
+
+def _measure_mode(workers: int, buffers: int, repeats: int) -> dict:
+    """Best-of-``repeats`` wall time of one warm-cache run."""
+    config = tight_config(HarnessConfig(workers=workers, buffers=buffers))
+    dataset = load_dataset(DATASET)
+    query = get_query(QUERY)
+    spec = REGISTRY.get(BACKEND)
+    ctx = make_context(config)
+    # Warm the CST/partition cache so the timed runs are dominated by
+    # the execute stage (the part the executor changes).
+    out = spec.run(ctx, query.graph, dataset.graph)
+    best_wall = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = spec.run(ctx, query.graph, dataset.graph)
+        best_wall = min(best_wall, time.perf_counter() - t0)
+    execute = out.metrics["stages"]["execute"]
+    return {
+        "workers": workers,
+        "buffers": buffers,
+        "wall_seconds": best_wall,
+        "modeled_seconds": out.seconds,
+        "execute_modeled_seconds": execute["modeled_seconds"],
+        "fpga_partitions": execute.get("num_csts", 0),
+        "embeddings": out.embeddings,
+    }
+
+
+def collect(repeats: int = 3) -> dict:
+    """Measure every mode and derive the headline ratios."""
+    modes = {
+        name: _measure_mode(knobs["workers"], knobs["buffers"], repeats)
+        for name, knobs in MODES.items()
+    }
+    counts = {m["embeddings"] for m in modes.values()}
+    if len(counts) != 1:
+        raise AssertionError(
+            f"embedding counts diverged across modes: {counts}"
+        )
+    serial, overlapped, threaded = (
+        modes["serial"], modes["overlapped"], modes["threaded"]
+    )
+    return {
+        "dataset": DATASET,
+        "query": QUERY,
+        "backend": BACKEND,
+        "cpus": os.cpu_count(),
+        "modes": modes,
+        "threaded_speedup": (
+            serial["wall_seconds"] / threaded["wall_seconds"]
+        ),
+        "overlap_modeled_ratio": (
+            overlapped["modeled_seconds"] / serial["modeled_seconds"]
+        ),
+    }
+
+
+def check(payload: dict, baseline: dict) -> list[str]:
+    """Gate failures of ``payload`` against the committed baseline."""
+    failures: list[str] = []
+    floor = baseline["threaded_speedup"] / REGRESSION_FACTOR
+    if payload["threaded_speedup"] < floor:
+        failures.append(
+            f"threaded speedup {payload['threaded_speedup']:.3f} fell "
+            f"below {floor:.3f} (baseline "
+            f"{baseline['threaded_speedup']:.3f} / {REGRESSION_FACTOR})"
+        )
+    if payload["overlap_modeled_ratio"] > 1.0 + 1e-9:
+        failures.append(
+            "overlapped modeled time exceeds the serial model "
+            f"(ratio {payload['overlap_modeled_ratio']:.6f})"
+        )
+    if payload["modes"]["serial"]["embeddings"] != (
+        baseline["modes"]["serial"]["embeddings"]
+    ):
+        failures.append(
+            f"embedding count changed: "
+            f"{payload['modes']['serial']['embeddings']} vs baseline "
+            f"{baseline['modes']['serial']['embeddings']}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="fail if the threaded speedup regressed "
+                             f"past {REGRESSION_FACTOR}x below the "
+                             "committed baseline")
+    parser.add_argument("--write", action="store_true",
+                        help="refresh the committed baseline JSON")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    payload = collect(repeats=args.repeats)
+    print(json.dumps(payload, indent=2))
+    if args.write:
+        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}", file=sys.stderr)
+    if args.check:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failures = check(payload, baseline)
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"OK: threaded speedup {payload['threaded_speedup']:.3f} "
+            f"(baseline {baseline['threaded_speedup']:.3f}), overlap "
+            f"modeled ratio {payload['overlap_modeled_ratio']:.6f}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry (collected by `pytest benchmarks/`)
+# ----------------------------------------------------------------------
+
+
+def test_overlap_modes_agree_and_never_slower_modeled(benchmark):
+    from conftest import run_once
+
+    payload = run_once(benchmark, collect, 1)
+    modes = payload["modes"]
+    assert modes["serial"]["embeddings"] == modes["threaded"]["embeddings"]
+    # The double-buffered model can only hide time, never add it.
+    assert payload["overlap_modeled_ratio"] <= 1.0 + 1e-9
+    # Worker count must not leak into the modeled domain.
+    assert modes["threaded"]["modeled_seconds"] == (
+        modes["overlapped"]["modeled_seconds"]
+    )
+    print(
+        f"\nthreaded speedup: {payload['threaded_speedup']:.3f} "
+        f"({payload['cpus']} cpus)"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,7 +14,9 @@ dataset statistics, and ``backends`` lists every registered backend
 with its declared capabilities.
 
 ``match`` and ``compare`` accept ``--fault-seed`` / ``--max-retries``
-to run under an injected-fault schedule (docs/robustness.md). Failure
+to run under an injected-fault schedule (docs/robustness.md), and
+``--workers`` / ``--buffers`` for concurrent partition execution and
+the modeled double-buffered overlap pipeline (docs/runtime.md). Failure
 verdicts exit with a one-line message and a distinct code instead of a
 traceback: 3 = OOM, 4 = INF, 5 = OVERFLOW, 6 = fatal runtime error
 (1 stays the embedding-count-disagreement code of ``compare``, 2 the
@@ -55,10 +57,22 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
                              "partition (default: 3)")
 
 
+def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker-pool width for independent CST "
+                             "partitions (wall-clock only; default: 1)")
+    parser.add_argument("--buffers", type=int, default=1, metavar="N",
+                        help="on-card staging buffers of the modeled "
+                             "transfer/compute overlap pipeline "
+                             "(default: 1 = no overlap)")
+
+
 def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
     return HarnessConfig(
         fault_seed=args.fault_seed,
         max_retries=args.max_retries,
+        workers=args.workers,
+        buffers=args.buffers,
         **kwargs,
     )
 
@@ -84,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--delta", type=float, default=0.1,
                        help="CPU workload share threshold")
     _add_fault_flags(match)
+    _add_executor_flags(match)
 
     compare = sub.add_parser("compare",
                              help="registered backends on one query")
@@ -96,6 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="BACKEND",
                          help="registered backend names or aliases")
     _add_fault_flags(compare)
+    _add_executor_flags(compare)
 
     info = sub.add_parser("info", help="dataset statistics (Table III)")
     info.add_argument("--dataset", default="DG01", choices=_ALL_DATASETS)

@@ -42,15 +42,18 @@ class CandidateAdjacency:
     candidate set adjacent to source candidate index ``i``.
     """
 
-    __slots__ = ("indptr", "targets", "_keys", "_stride")
+    __slots__ = ("indptr", "targets", "_keys", "_stride", "_row_lens")
 
     def __init__(self, indptr: np.ndarray, targets: np.ndarray) -> None:
-        self.indptr = np.asarray(indptr, dtype=np.int64)
-        self.targets = np.asarray(targets, dtype=np.int64)
+        # Contiguous arrays keep the kernel's batched gathers on the
+        # fast numpy path even when callers hand in strided views.
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.targets = np.ascontiguousarray(targets, dtype=np.int64)
         if self.indptr[0] != 0 or self.indptr[-1] != len(self.targets):
             raise CSTError("adjacency indptr does not cover targets")
         self._keys: np.ndarray | None = None
         self._stride: int = 0
+        self._row_lens: np.ndarray | None = None
 
     @classmethod
     def from_rows(cls, rows: list[np.ndarray]) -> "CandidateAdjacency":
@@ -73,6 +76,18 @@ class CandidateAdjacency:
 
     def row_len(self, i: int) -> int:
         return int(self.indptr[i + 1] - self.indptr[i])
+
+    def row_lens_array(self) -> np.ndarray:
+        """All row lengths (``np.diff(indptr)``), built once and cached.
+
+        The Generator gathers row lengths for a whole batch of partials
+        every round; one cached diff turns that into a single fancy-
+        index gather. Lazy like ``_keys`` (benign to race under the
+        GIL: both winners compute identical arrays).
+        """
+        if self._row_lens is None:
+            self._row_lens = np.diff(self.indptr)
+        return self._row_lens
 
     def contains(self, i: int, j: int) -> bool:
         """Whether target position ``j`` is adjacent to source ``i``."""
@@ -98,7 +113,7 @@ class CandidateAdjacency:
             self._stride = int(self.targets.max()) + 1
             row_ids = np.repeat(
                 np.arange(self.num_rows, dtype=np.int64),
-                np.diff(self.indptr),
+                self.row_lens_array(),
             )
             self._keys = row_ids * self._stride + self.targets
         in_range = dst_positions < self._stride
@@ -113,7 +128,7 @@ class CandidateAdjacency:
         """Longest row; contributes to ``D_CST``."""
         if self.num_rows == 0:
             return 0
-        return int(np.max(np.diff(self.indptr)))
+        return int(self.row_lens_array().max())
 
     def num_entries(self) -> int:
         return len(self.targets)

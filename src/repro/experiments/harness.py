@@ -30,6 +30,7 @@ from repro.ldbc.datasets import load_dataset
 from repro.ldbc.generator import LdbcDataset
 from repro.ldbc.queries import BenchmarkQuery, all_queries, get_query
 from repro.runtime.context import RunContext, StageCache
+from repro.runtime.executor import ExecutorConfig
 from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.runtime.registry import REGISTRY
 
@@ -62,6 +63,14 @@ class HarnessConfig:
     #: Retry budget for transient device faults (``None`` keeps the
     #: :class:`~repro.runtime.faults.RetryPolicy` default).
     max_retries: int | None = None
+    #: Worker-pool width of the execute stage (wall-clock only;
+    #: modeled seconds never depend on it).
+    workers: int = 1
+    #: On-card staging buffers of the modeled transfer/compute overlap
+    #: pipeline (1 = the flat serial sum, the original model).
+    buffers: int = 1
+    #: Pool implementation for ``workers > 1`` (``thread``/``process``).
+    pool: str = "thread"
 
 
 def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
@@ -88,6 +97,9 @@ def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
         fault_seed=base.fault_seed,
         fault_rates=base.fault_rates,
         max_retries=base.max_retries,
+        workers=base.workers,
+        buffers=base.buffers,
+        pool=base.pool,
     )
 
 
@@ -151,6 +163,11 @@ def make_context(
         seed=config.seed,
         fault_plan=fault_plan,
         retry_policy=retry_policy,
+        executor=ExecutorConfig(
+            workers=config.workers,
+            buffers=config.buffers,
+            pool=config.pool,
+        ),
         cache=cache,
     )
 

@@ -198,9 +198,7 @@ class FastEngine:
             "collect": pipelined_cycles(n_new, cfg.l4),
             # T_n generation: the outer per-neighbour loop is not
             # pipelined (Algorithm 5 line 10), each inner loop is.
-            "tn_gen": sum(
-                pipelined_cycles(n_new, cfg.l5) for _ in range(checks)
-            ),
+            "tn_gen": checks * pipelined_cycles(n_new, cfg.l5),
             "tn_val": pipelined_cycles(n_tasks, cfg.l6),
         }
 
@@ -257,5 +255,7 @@ def _to_query_indexed(
 ) -> list[tuple[int, ...]]:
     """Reorder result rows from order-position to query-vertex index."""
     inverse = np.argsort(np.asarray(order))
-    reordered = ids[:, inverse]
-    return [tuple(int(v) for v in row) for row in reordered]
+    # One bulk tolist() materialises Python ints for the whole batch;
+    # per-element int() casts in a nested loop dominated result
+    # collection on large embeddings counts.
+    return list(map(tuple, ids[:, inverse].tolist()))

@@ -180,18 +180,51 @@ def generate(
     adj = cst.adjacency[(anchor, u)]
 
     avail = len(buffer)
-    apos = buffer.pos[buffer.front:, plan.anchor_col[step]]
-    row_start = adj.indptr[apos].copy()
-    row_len = (adj.indptr[apos + 1] - row_start).copy()
-    if avail:
-        row_start[0] += buffer.front_offset
-        row_len[0] -= buffer.front_offset
+    anchor_col = plan.anchor_col[step]
+    all_lens = adj.row_lens_array()
+
+    # Scan buffer entries in windows of roughly one budget's worth
+    # instead of gathering the whole remaining suffix every round (the
+    # suffix can be orders of magnitude larger than one round's
+    # consumption). The scan keeps extending while the running total is
+    # still <= budget, so trailing zero-length rows that fit under the
+    # budget are consumed this round — exactly the rows a full-suffix
+    # ``searchsorted(cum, budget, side="right")`` would take.
+    chunk = max(64, min(avail, budget))
+    starts_parts: list[np.ndarray] = []
+    lens_parts: list[np.ndarray] = []
+    scanned = 0
+    total = 0
+    while scanned < avail and total <= budget:
+        end = min(avail, scanned + chunk)
+        apos = buffer.pos[
+            buffer.front + scanned: buffer.front + end, anchor_col
+        ]
+        rs = adj.indptr[apos]
+        rl = all_lens[apos]
+        if scanned == 0 and buffer.front_offset:
+            rs[0] += buffer.front_offset
+            rl[0] -= buffer.front_offset
+        starts_parts.append(rs)
+        lens_parts.append(rl)
+        total += int(rl.sum())
+        scanned = end
+
+    if starts_parts:
+        row_start = np.concatenate(starts_parts)
+        row_len = np.concatenate(lens_parts)
+    else:
+        row_start = np.empty(0, dtype=np.int64)
+        row_len = np.empty(0, dtype=np.int64)
 
     cum = np.cumsum(row_len)
     take_full = int(np.searchsorted(cum, budget, side="right"))
     consumed_new = int(cum[take_full - 1]) if take_full else 0
     partial_take = 0
     if take_full < avail:
+        # The scan only stops early once the running total exceeds the
+        # budget, so the first not-fully-consumed row is always inside
+        # the scanned window.
         partial_take = budget - consumed_new
 
     starts = row_start[:take_full]

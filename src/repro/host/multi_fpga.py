@@ -24,21 +24,59 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import DeviceError, FatalDeviceError
 from repro.costs.cpu import CpuCostModel
-from repro.cst.structure import ENTRY_BYTES
+from repro.cst.structure import CST, ENTRY_BYTES
 from repro.cst.workload import estimate_workload
 from repro.fpga.config import FpgaConfig
 from repro.fpga.engine import FastEngine
+from repro.fpga.kernel import MatchPlan
 from repro.fpga.report import KernelReport
 from repro.graph.graph import Graph
 from repro.host.pcie import PcieLink
 from repro.query.query_graph import QueryGraph
 from repro.runtime.context import RunContext, RunMetrics
+from repro.runtime.executor import PartitionExecutor, Task, overlap_timeline
 from repro.runtime.faults import DEVICE_DEAD, FaultEvent
 from repro.runtime.stages import (
     build_cst_stage,
     cached_partition_list,
     plan_stage,
 )
+
+
+def _run_device(
+    cfg: FpgaConfig,
+    variant: str,
+    parts: list[CST],
+    match_plan: MatchPlan,
+    result_vertices: int,
+) -> tuple[KernelReport, float, list[tuple[float, float]], float]:
+    """One device's whole queue: transfers, kernels, result fetch.
+
+    Module-level with picklable arguments so device queues can run
+    under a process pool. Returns ``(merged_kernel, pcie_seconds,
+    segments, fetch_seconds)`` where ``segments`` holds one
+    ``(write, kernel)`` pair per partition for the device's own
+    double-buffered :func:`overlap_timeline`.
+    """
+    engine = FastEngine(cfg, variant)
+    link = PcieLink(cfg)
+    kernel: KernelReport | None = None
+    segments: list[tuple[float, float]] = []
+    pcie = 0.0
+    for part in parts:
+        cost = link.send_to_card(part.size_bytes())
+        pcie += cost
+        report = engine.run(part, plan=match_plan)
+        segments.append((cost, report.seconds))
+        if kernel is None:
+            kernel = report
+        else:
+            kernel.merge(report)
+    fetch = link.fetch_from_card(
+        kernel.embeddings * result_vertices * ENTRY_BYTES
+    )
+    pcie += fetch
+    return kernel, pcie, segments, fetch
 
 
 @dataclass
@@ -197,29 +235,41 @@ class MultiFpgaRunner:
                     assignment[device.index] = []
                     device.workload = 0.0
                     device.num_csts = 0
-            for device in devices:
-                if not assignment[device.index]:
-                    continue
-                engine = FastEngine(ctx.fpga, self.variant)
-                link = PcieLink(ctx.fpga)
-                for part in assignment[device.index]:
-                    device.pcie_seconds += link.send_to_card(
-                        part.size_bytes()
+            # Device queues are independent (Definition 2), so they
+            # dispatch through the worker pool as one task per device
+            # and merge back in device-index order.
+            exec_cfg = ctx.executor
+            pool = PartitionExecutor(exec_cfg)
+            active = [d for d in devices if assignment[d.index]]
+            tasks: list[Task] = [
+                (_run_device,
+                 (ctx.fpga, self.variant, assignment[d.index],
+                  plan.match_plan, q.num_vertices))
+                for d in active
+            ]
+            device_seconds: list[float] = []
+            for device, (kernel, pcie, segments, fetch) in zip(
+                active, pool.run(tasks)
+            ):
+                device.kernel = kernel
+                device.pcie_seconds = pcie
+                if exec_cfg.buffers <= 1:
+                    device_seconds.append(device.seconds)
+                else:
+                    # Each card overlaps its own transfers with its own
+                    # kernels; only the result fetch stays serial.
+                    device_seconds.append(
+                        overlap_timeline(segments, exec_cfg.buffers)
+                        + fetch
                     )
-                    report = engine.run(part, plan=plan.match_plan)
-                    if device.kernel is None:
-                        device.kernel = report
-                    else:
-                        device.kernel.merge(report)
-                device.pcie_seconds += link.fetch_from_card(
-                    device.kernel.embeddings * q.num_vertices * ENTRY_BYTES
-                )
-            makespan = max((d.seconds for d in devices), default=0.0)
+            makespan = max(device_seconds, default=0.0)
             st.modeled_seconds += makespan
             st.note(
                 makespan_seconds=makespan,
                 device_seconds=tuple(d.seconds for d in devices),
                 dead_devices=tuple(sorted(dead)),
+                workers=exec_cfg.workers,
+                buffers=exec_cfg.buffers,
             )
 
         with ctx.stage("merge") as st:

@@ -22,6 +22,12 @@ from repro.runtime.context import (
     StageCache,
     StageMetrics,
 )
+from repro.runtime.executor import (
+    ExecutorConfig,
+    PartitionExecutor,
+    PartitionOutcome,
+    overlap_timeline,
+)
 from repro.runtime.faults import (
     FAULT_KINDS,
     FaultEvent,
@@ -56,10 +62,13 @@ __all__ = [
     "STAGES",
     "CacheStats",
     "ExecuteOutcome",
+    "ExecutorConfig",
     "FaultEvent",
     "FaultPlan",
     "HealthReport",
     "MergedRun",
+    "PartitionExecutor",
+    "PartitionOutcome",
     "RetryPolicy",
     "RunContext",
     "RunMetrics",
@@ -70,6 +79,7 @@ __all__ = [
     "build_cst_stage",
     "execute_stage",
     "merge_stage",
+    "overlap_timeline",
     "partition_stage",
     "passthrough_partition_stage",
     "plan_stage",

@@ -16,6 +16,7 @@ cached CST instead of rebuilding it.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -25,6 +26,7 @@ from repro.costs.cpu import CpuCostModel, OpCounters
 from repro.costs.resources import ResourceLimits
 from repro.fpga.config import FpgaConfig
 from repro.graph.graph import Graph
+from repro.runtime.executor import ExecutorConfig
 from repro.runtime.faults import FaultPlan, HealthReport, RetryPolicy
 
 #: Canonical stage order of the pipeline (documented in docs/runtime.md).
@@ -134,6 +136,11 @@ class StageCache:
         self.max_entries = max_entries
         self._store: dict[tuple, Any] = {}
         self._stats: dict[str, CacheStats] = {}
+        # Concurrent partition tasks may rebuild partitions through the
+        # cache (the fault supervisor's re-partition rung); the lock
+        # keeps check-then-insert and eviction atomic under the
+        # execute stage's worker pool. Builds are rare and serialize.
+        self._lock = threading.RLock()
 
     def namespace_stats(self, namespace: str) -> CacheStats:
         if namespace not in self._stats:
@@ -144,21 +151,22 @@ class StageCache:
         self, namespace: str, key: tuple, build: Callable[[], Any]
     ) -> tuple[Any, bool]:
         """Return ``(value, was_cached)`` for ``key`` in ``namespace``."""
-        stats = self.namespace_stats(namespace)
-        if not self.enabled:
+        with self._lock:
+            stats = self.namespace_stats(namespace)
+            if not self.enabled:
+                stats.misses += 1
+                return build(), False
+            full_key = (namespace, *key)
+            if full_key in self._store:
+                stats.hits += 1
+                return self._store[full_key], True
             stats.misses += 1
-            return build(), False
-        full_key = (namespace, *key)
-        if full_key in self._store:
-            stats.hits += 1
-            return self._store[full_key], True
-        stats.misses += 1
-        value = build()
-        if len(self._store) >= self.max_entries:
-            # Drop the oldest entry (dicts preserve insertion order).
-            self._store.pop(next(iter(self._store)))
-        self._store[full_key] = value
-        return value, False
+            value = build()
+            if len(self._store) >= self.max_entries:
+                # Drop the oldest entry (dicts preserve insertion order).
+                self._store.pop(next(iter(self._store)))
+            self._store[full_key] = value
+            return value, False
 
     def clear(self) -> None:
         self._store.clear()
@@ -191,6 +199,10 @@ class RunContext:
     #: Retry/backoff budget the execute-stage supervisor applies to
     #: transient device errors.
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    #: Concurrency (``workers``) and modeled overlap (``buffers``)
+    #: knobs of the execute stage; the default is serial execution
+    #: with no transfer/compute overlap (the original behavior).
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
     cache: StageCache = field(default_factory=StageCache)
     metrics: RunMetrics | None = None
     history: list[RunMetrics] = field(default_factory=list)

@@ -32,7 +32,7 @@ modeled number is independent of cache state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.common.errors import (
     PartitionError,
@@ -48,6 +48,7 @@ from repro.cst.partition import (
 )
 from repro.cst.structure import CST, ENTRY_BYTES
 from repro.cst.workload import estimate_workload
+from repro.fpga.config import FpgaConfig
 from repro.fpga.engine import FastEngine
 from repro.fpga.kernel import MatchPlan, build_plan
 from repro.fpga.report import KernelReport
@@ -58,7 +59,14 @@ from repro.host.scheduler import WorkloadScheduler
 from repro.query.ordering import path_based_order
 from repro.query.query_graph import QueryGraph, as_query
 from repro.query.spanning_tree import SpanningTree, build_bfs_tree, choose_root
-from repro.runtime.context import RunContext, StageMetrics
+from repro.runtime.context import RunContext
+from repro.runtime.executor import (
+    ExecutorConfig,
+    PartitionExecutor,
+    PartitionOutcome,
+    Task,
+    overlap_timeline,
+)
 from repro.runtime.faults import FAULT_ERRORS, FaultEvent
 
 
@@ -107,6 +115,9 @@ class ExecuteOutcome:
     cpu_share_seconds: float = 0.0
     fault_overhead_seconds: float = 0.0
     fallback_seconds: float = 0.0
+    #: FPGA-side modeled seconds after the overlap timeline (equals
+    #: ``pcie + kernel + fault_overhead`` at ``buffers = 1``).
+    fpga_seconds: float = 0.0
 
 
 @dataclass
@@ -295,32 +306,36 @@ def schedule_stage(ctx: RunContext, work: ScheduledWork) -> ScheduledWork:
 
 def _attempt_partition(
     ctx: RunContext,
-    st: StageMetrics,
     engine: FastEngine,
     link: PcieLink,
     part: CST,
     scope: tuple,
     match_plan: MatchPlan,
     collect_results: bool,
-) -> tuple[KernelReport | None, float, float, str | None]:
+) -> tuple[KernelReport | None, float, float, float, list[FaultEvent],
+           str | None]:
     """One partition under the retry policy.
 
     Each attempt replays the full launch sequence (device check, PCIe
     transfer, kernel) against the fault plan; transient errors back
     off and retry, with the backoff charged to both wall and modeled
     time. Returns ``(report, pcie_seconds, overhead_seconds,
-    last_fault_kind)`` where ``report`` is ``None`` once the retry
-    budget is exhausted (the caller walks the degradation ladder).
+    backoff_seconds, events, last_fault_kind)`` where ``report`` is
+    ``None`` once the retry budget is exhausted (the caller walks the
+    degradation ladder). Events are returned, not recorded, so the
+    call is free of shared mutable state and safe under the execute
+    stage's worker pool; the caller records them in partition order.
     """
     policy = ctx.retry_policy
     fplan = ctx.fault_plan
-    health = ctx.health
     fires = {
         kind: fplan.fires(kind, *scope) if fplan is not None else 0
         for kind in FAULT_ERRORS
     }
+    events: list[FaultEvent] = []
     pcie = 0.0
     overhead = 0.0
+    backoff_total = 0.0
     attempt = 0
     while True:
         try:
@@ -347,22 +362,23 @@ def _attempt_partition(
                 raise FAULT_ERRORS["bram_soft_error"](
                     f"BRAM soft error at {scope}"
                 )
-            return report, pcie, overhead, None
+            return report, pcie, overhead, backoff_total, events, None
         except TransientDeviceError as exc:
             if attempt >= policy.max_retries:
-                return None, pcie, overhead, exc.kind
+                return (None, pcie, overhead, backoff_total, events,
+                        exc.kind)
             backoff = policy.backoff_seconds(
                 fplan.seed if fplan is not None else ctx.seed,
                 attempt, *scope,
             )
-            health.record(FaultEvent(
+            events.append(FaultEvent(
                 kind=exc.kind, scope=scope, attempt=attempt,
                 action="retry", backoff_seconds=backoff,
             ))
             # Backoff is charged, not slept: it delays the modeled
             # FPGA-side critical path and is booked as stage wall time.
             overhead += backoff
-            st.wall_seconds += backoff
+            backoff_total += backoff
             attempt += 1
 
 
@@ -397,6 +413,116 @@ def _tightened_subpartitions(
     return parts, stats
 
 
+def _run_fpga_partition(
+    cfg: FpgaConfig,
+    variant: str,
+    part: CST,
+    match_plan: MatchPlan,
+    collect_results: bool,
+) -> KernelReport:
+    """Fault-free kernel launch of one FPGA partition.
+
+    A module-level function closed over nothing, so tasks pickle and
+    the fault-free path can run under a process pool. Each task builds
+    a private engine: :class:`FastEngine` holds only configuration, so
+    a fresh instance is behaviorally identical to a shared one while
+    keeping workers free of shared state.
+    """
+    engine = FastEngine(cfg, variant)
+    return engine.run(part, collect_results=collect_results, plan=match_plan)
+
+
+def _run_cpu_partition(
+    part: CST, order: tuple[int, ...]
+) -> tuple[list[tuple[int, ...]], CpuMatchCounters]:
+    """Host matcher over one CPU-share (or fallback) partition.
+
+    Counters are private to the task and merged by the caller in
+    partition order; integer sums are order-independent, so the
+    modeled CPU-share seconds are identical to the old serial loop.
+    """
+    counters = CpuMatchCounters()
+    found = cst_embeddings(part, order, counters=counters)
+    return found, counters
+
+
+def _supervise_partition(
+    ctx: RunContext,
+    data: Graph,
+    plan: StagePlan,
+    limits: PartitionLimits | None,
+    engine_variant: str,
+    collect_results: bool,
+    part: CST,
+    idx: int,
+) -> PartitionOutcome:
+    """Degradation ladder for one FPGA partition, as a pool task.
+
+    An explicit worklist replaces the old recursive ``supervise``
+    closure, so arbitrarily deep re-partition ladders cannot hit
+    Python's recursion limit. Sub-partitions are pushed in reverse so
+    the LIFO pop order equals the old depth-first traversal, which
+    keeps fault-event order — and therefore the health record —
+    bit-identical to serial execution. Everything the ladder produces
+    is accumulated privately in a :class:`PartitionOutcome`; the stage
+    merges outcomes in partition-index order.
+    """
+    cfg = ctx.fpga
+    policy = ctx.retry_policy
+    engine = FastEngine(cfg, engine_variant)
+    link = PcieLink(cfg)
+    out = PartitionOutcome()
+    stack: list[tuple[CST, tuple, bool]] = [(part, ("partition", idx), True)]
+    while stack:
+        cur, scope, may_repartition = stack.pop()
+        report, pcie, overhead, backoff, events, last_kind = (
+            _attempt_partition(
+                ctx, engine, link, cur, scope,
+                plan.match_plan, collect_results,
+            )
+        )
+        out.pcie_seconds += pcie
+        out.overhead_seconds += overhead
+        out.backoff_wall_seconds += backoff
+        out.events.extend(events)
+        if report is not None:
+            out.reports.append(report)
+            # One timeline segment per successful launch: the transfer
+            # (including wasted attempts) and the card-side residency
+            # (kernel plus wasted kernel work and backoff).
+            out.segments.append((pcie, report.seconds + overhead))
+            continue
+        if may_repartition and limits is not None:
+            split = _tightened_subpartitions(
+                ctx, data, cur, plan, limits, scope
+            )
+            if split is not None:
+                subparts, stats = split
+                out.events.append(FaultEvent(
+                    kind=last_kind, scope=scope,
+                    attempt=policy.max_retries, action="repartition",
+                ))
+                host_cost = ctx.host_seconds(
+                    stats.total_bytes // ENTRY_BYTES, data
+                )
+                # Re-partitioning runs on the host, not the card: it is
+                # part of the flat fault overhead but stays out of the
+                # overlapped card timeline (tracked separately).
+                out.overhead_seconds += host_cost
+                out.host_overhead_seconds += host_cost
+                out.segments.append((pcie, overhead))
+                for j, sub in reversed(list(enumerate(subparts))):
+                    stack.append((sub, (*scope, j), False))
+                continue
+        out.events.append(FaultEvent(
+            kind=last_kind, scope=scope,
+            attempt=policy.max_retries, action="cpu_fallback",
+        ))
+        out.segments.append((pcie, overhead))
+        out.fallback_parts.append(cur)
+    return out
+
+
 def execute_stage(
     ctx: RunContext,
     plan: StagePlan,
@@ -407,13 +533,27 @@ def execute_stage(
     cpu_share_threads: int = 8,
     cpu_thread_efficiency: float = 0.45,
     limits: PartitionLimits | None = None,
+    executor: ExecutorConfig | None = None,
 ) -> ExecuteOutcome:
     """Kernel over FPGA partitions + basic matcher over CPU partitions.
 
     The stage's modeled time follows the Section V-C overlap rule:
-    ``max(cpu_share, pcie + kernel)``. With a fault plan active on the
-    context, every FPGA partition runs under a supervisor implementing
-    the degradation ladder (see docs/robustness.md):
+    ``max(cpu_share, fpga_side) + fallback``. With ``buffers = 1`` (the
+    default) the FPGA side is the flat serial sum
+    ``pcie + kernel + fault_overhead``; with ``buffers >= 2`` it is the
+    double-buffered pipeline of :func:`overlap_timeline`, where the
+    transfer of partition *i* overlaps the kernels of the previous
+    ``buffers - 1`` launches (host-side re-partition cost and the
+    result fetch stay serial). Independent partitions — FPGA and
+    CPU-share alike — are dispatched through a
+    :class:`PartitionExecutor` worker pool (``executor`` overrides
+    ``ctx.executor``); results merge in partition-index order, so
+    counts, results, modeled seconds, and the health record do not
+    depend on ``workers``.
+
+    With a fault plan active on the context, every FPGA partition runs
+    under a supervisor implementing the degradation ladder (see
+    docs/robustness.md):
 
     1. transient faults retry under ``ctx.retry_policy`` (backoff
        charged to wall and modeled time);
@@ -430,9 +570,14 @@ def execute_stage(
     """
     cfg = ctx.fpga
     q = plan.query
-    policy = ctx.retry_policy
+    exec_cfg = executor if executor is not None else ctx.executor
+    supervised = ctx.fault_plan is not None
+    if supervised and exec_cfg.pool == "process":
+        # Supervised tasks close over the context (fault plan, cache
+        # lock), which does not pickle; they run under threads instead.
+        exec_cfg = replace(exec_cfg, pool="thread")
+    pool = PartitionExecutor(exec_cfg)
     with ctx.stage("execute") as st:
-        engine = FastEngine(cfg, engine_variant)
         link = PcieLink(cfg)
         kernel_total = KernelReport(
             variant=engine_variant, clock_mhz=cfg.clock_mhz
@@ -443,50 +588,63 @@ def execute_stage(
         health.device_status.setdefault(0, "ok")
         pcie_seconds = 0.0
         fault_overhead = 0.0
+        host_overhead = 0.0
+        segments: list[tuple[float, float]] = []
         fallback_parts: list[CST] = []
 
-        def supervise(part: CST, scope: tuple,
-                      may_repartition: bool) -> None:
-            nonlocal pcie_seconds, fault_overhead
-            report, pcie, overhead, last_kind = _attempt_partition(
-                ctx, st, engine, link, part, scope,
-                plan.match_plan, collect_results,
-            )
-            pcie_seconds += pcie
-            fault_overhead += overhead
-            if report is not None:
-                kernel_total.merge(report)
-                return
-            if may_repartition and limits is not None:
-                split = _tightened_subpartitions(
-                    ctx, data, part, plan, limits, scope
-                )
-                if split is not None:
-                    subparts, stats = split
-                    health.record(FaultEvent(
-                        kind=last_kind, scope=scope,
-                        attempt=policy.max_retries, action="repartition",
-                    ))
-                    fault_overhead += ctx.host_seconds(
-                        stats.total_bytes // ENTRY_BYTES, data
-                    )
-                    for j, sub in enumerate(subparts):
-                        supervise(sub, (*scope, j), False)
-                    return
-            health.record(FaultEvent(
-                kind=last_kind, scope=scope,
-                attempt=policy.max_retries, action="cpu_fallback",
-            ))
-            fallback_parts.append(part)
+        # FPGA and CPU-share partitions are all independent, so one
+        # pool dispatch covers both; slicing recovers each family in
+        # its original partition order.
+        if supervised:
+            fpga_tasks: list[Task] = [
+                (_supervise_partition,
+                 (ctx, data, plan, limits, engine_variant,
+                  collect_results, fpart, idx))
+                for idx, fpart in enumerate(work.fpga_parts)
+            ]
+        else:
+            fpga_tasks = [
+                (_run_fpga_partition,
+                 (cfg, engine_variant, fpart, plan.match_plan,
+                  collect_results))
+                for fpart in work.fpga_parts
+            ]
+        cpu_tasks: list[Task] = [
+            (_run_cpu_partition, (cpart, plan.order))
+            for cpart in work.cpu_parts
+        ]
+        mixed = pool.run([*fpga_tasks, *cpu_tasks])
+        fpga_done = mixed[:len(fpga_tasks)]
+        cpu_done = mixed[len(fpga_tasks):]
 
-        for idx, part in enumerate(work.fpga_parts):
-            supervise(part, ("partition", idx), True)
+        if supervised:
+            backoff_wall = 0.0
+            for out in fpga_done:
+                for report in out.reports:
+                    kernel_total.merge(report)
+                pcie_seconds += out.pcie_seconds
+                fault_overhead += out.overhead_seconds
+                host_overhead += out.host_overhead_seconds
+                backoff_wall += out.backoff_wall_seconds
+                segments.extend(out.segments)
+                for event in out.events:
+                    health.record(event)
+                fallback_parts.extend(out.fallback_parts)
+            # Backoff is charged, not slept: it is booked as stage wall
+            # time on top of the real elapsed time.
+            st.wall_seconds += backoff_wall
+        else:
+            for fpart, report in zip(work.fpga_parts, fpga_done):
+                cost = link.send_to_card(fpart.size_bytes())
+                pcie_seconds += cost
+                kernel_total.merge(report)
+                segments.append((cost, report.seconds))
 
         cpu_counters = CpuMatchCounters()
         cpu_embeddings = 0
         cpu_results: list[tuple[int, ...]] = []
-        for part in work.cpu_parts:
-            found = cst_embeddings(part, plan.order, counters=cpu_counters)
+        for found, counters in cpu_done:
+            cpu_counters.merge(counters)
             cpu_embeddings += len(found)
             if collect_results:
                 cpu_results.extend(found)
@@ -508,10 +666,12 @@ def execute_stage(
         # attempts failed, so their time cannot hide in the overlap
         # window; it is charged on top of the stage total.
         fallback_counters = CpuMatchCounters()
-        for part in fallback_parts:
-            found = cst_embeddings(
-                part, plan.order, counters=fallback_counters
-            )
+        fallback_done = pool.run([
+            (_run_cpu_partition, (fpart, plan.order))
+            for fpart in fallback_parts
+        ])
+        for found, counters in fallback_done:
+            fallback_counters.merge(counters)
             cpu_embeddings += len(found)
             if collect_results:
                 cpu_results.extend(found)
@@ -529,17 +689,30 @@ def execute_stage(
             1.0, cpu_share_threads * cpu_thread_efficiency
         )
 
-        pcie_seconds += link.fetch_from_card(
+        fetch_seconds = link.fetch_from_card(
             kernel_total.embeddings * q.num_vertices * ENTRY_BYTES
         )
-        st.modeled_seconds += max(
-            cpu_share_seconds,
-            pcie_seconds + kernel_total.seconds + fault_overhead,
-        ) + fallback_seconds
+        pcie_seconds += fetch_seconds
+        if exec_cfg.buffers <= 1:
+            # The exact pre-pipeline arithmetic: a flat serial sum.
+            fpga_seconds = (
+                pcie_seconds + kernel_total.seconds + fault_overhead
+            )
+        else:
+            # Double-buffered card timeline; host-side re-partition
+            # cost and the single result fetch cannot overlap kernels.
+            fpga_seconds = (
+                overlap_timeline(segments, exec_cfg.buffers)
+                + host_overhead + fetch_seconds
+            )
+        st.modeled_seconds += (
+            max(cpu_share_seconds, fpga_seconds) + fallback_seconds
+        )
         st.note(
             kernel_seconds=kernel_total.seconds,
             pcie_seconds=pcie_seconds,
             cpu_share_seconds=cpu_share_seconds,
+            fpga_seconds=fpga_seconds,
             cycles=kernel_total.total_cycles,
             rounds=kernel_total.rounds,
             N=kernel_total.total_partials,
@@ -548,6 +721,9 @@ def execute_stage(
             num_csts=kernel_total.num_csts,
             fault_overhead_seconds=fault_overhead,
             fallback_seconds=fallback_seconds,
+            workers=exec_cfg.workers,
+            buffers=exec_cfg.buffers,
+            pool=exec_cfg.pool,
         )
     return ExecuteOutcome(
         kernel=kernel_total,
@@ -557,6 +733,7 @@ def execute_stage(
         cpu_share_seconds=cpu_share_seconds,
         fault_overhead_seconds=fault_overhead,
         fallback_seconds=fallback_seconds,
+        fpga_seconds=fpga_seconds,
     )
 
 
