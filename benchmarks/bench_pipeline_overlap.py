@@ -35,6 +35,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.common.io import atomic_write_json
 from repro.experiments.harness import HarnessConfig, make_context, tight_config
 from repro.ldbc.datasets import load_dataset
 from repro.ldbc.queries import get_query
@@ -153,7 +154,9 @@ def main(argv: list[str] | None = None) -> int:
     payload = collect(repeats=args.repeats)
     print(json.dumps(payload, indent=2))
     if args.write:
-        BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+        # Atomic: an interrupt mid-write leaves the old baseline intact
+        # instead of truncated JSON.
+        atomic_write_json(BASELINE_PATH, payload)
         print(f"wrote {BASELINE_PATH}", file=sys.stderr)
     if args.check:
         baseline = json.loads(BASELINE_PATH.read_text())

@@ -16,9 +16,13 @@ with its declared capabilities.
 ``match`` and ``compare`` accept ``--fault-seed`` / ``--max-retries``
 to run under an injected-fault schedule (docs/robustness.md), and
 ``--workers`` / ``--buffers`` for concurrent partition execution and
-the modeled double-buffered overlap pipeline (docs/runtime.md). Failure
-verdicts exit with a one-line message and a distinct code instead of a
-traceback: 3 = OOM, 4 = INF, 5 = OVERFLOW, 6 = fatal runtime error
+the modeled double-buffered overlap pipeline (docs/runtime.md).
+``match`` additionally takes ``--journal`` (record a crash-safe run
+journal), ``--resume`` (replay a journal's completed partitions and
+finish the rest), and ``--health-ledger`` (persistent device-health
+history steering scheduling). Failure verdicts exit with a one-line
+message and a distinct code instead of a traceback: 3 = OOM, 4 = INF,
+5 = OVERFLOW, 6 = fatal runtime error, 7 = resume fingerprint mismatch
 (1 stays the embedding-count-disagreement code of ``compare``, 2 the
 usage-error code).
 """
@@ -28,7 +32,12 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.common.errors import BackendError, ReproError, ResourceExhausted
+from repro.common.errors import (
+    BackendError,
+    JournalMismatchError,
+    ReproError,
+    ResourceExhausted,
+)
 from repro.common.tables import render_kv, render_table
 from repro.experiments.harness import HarnessConfig, make_context
 from repro.host.runtime import RUNNER_VARIANTS, FastRunResult
@@ -44,6 +53,10 @@ VERDICT_EXIT_CODES = {"OOM": 3, "INF": 4, "OVERFLOW": 5}
 #: Exit code for fatal (non-verdict) runtime failures, e.g. every
 #: device in a multi-FPGA pool dying.
 EXIT_FATAL = 6
+
+#: Exit code when ``--resume`` is given a journal whose recorded run
+#: fingerprint does not match the requested run.
+EXIT_RESUME_MISMATCH = 7
 
 
 def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
@@ -67,12 +80,28 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                              "(default: 1 = no overlap)")
 
 
+def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="record a crash-safe run journal at PATH "
+                             "(see docs/robustness.md)")
+    parser.add_argument("--resume", default=None, metavar="PATH",
+                        help="resume an interrupted run from its "
+                             "journal (replays completed partitions, "
+                             "executes the rest)")
+    parser.add_argument("--health-ledger", default=None, metavar="PATH",
+                        help="persistent device-health ledger steering "
+                             "scheduling away from flaky devices")
+
+
 def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
     return HarnessConfig(
         fault_seed=args.fault_seed,
         max_retries=args.max_retries,
         workers=args.workers,
         buffers=args.buffers,
+        journal_path=getattr(args, "journal", None),
+        resume_path=getattr(args, "resume", None),
+        health_ledger_path=getattr(args, "health_ledger", None),
         **kwargs,
     )
 
@@ -99,6 +128,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="CPU workload share threshold")
     _add_fault_flags(match)
     _add_executor_flags(match)
+    _add_journal_flags(match)
 
     compare = sub.add_parser("compare",
                              help="registered backends on one query")
@@ -159,6 +189,11 @@ def _fast_rows(result: FastRunResult) -> list[tuple[str, object]]:
         health = _health_summary(result.metrics.health.to_dict())
         if health is not None:
             rows.append(("health", health))
+        exe = result.metrics.stages.get("execute")
+        if exe is not None and exe.extra.get("resumed_partitions"):
+            rows.append((
+                "resumed_partitions", exe.extra["resumed_partitions"]
+            ))
     return rows
 
 
@@ -198,14 +233,24 @@ def cmd_match(args: argparse.Namespace) -> int:
         return 2
     dataset = load_dataset(args.dataset)
     query = get_query(args.query)
-    ctx = make_context(_harness_config(args, delta=args.delta))
+    ctx = None
     try:
+        ctx = make_context(_harness_config(args, delta=args.delta))
         out = spec.run(ctx, query.graph, dataset.graph)
+    except JournalMismatchError as exc:
+        # The journal was recorded for a different run (query, dataset,
+        # backend, or config changed); replaying it would corrupt
+        # counts, so refuse with a distinct exit code.
+        print(f"{spec.name}: RESUME-MISMATCH: {exc}", file=sys.stderr)
+        return EXIT_RESUME_MISMATCH
     except ResourceExhausted as exc:
         return _verdict_exit(spec.name, exc.verdict, str(exc))
     except ReproError as exc:
         print(f"{spec.name}: fatal: {exc}", file=sys.stderr)
         return EXIT_FATAL
+    finally:
+        if ctx is not None and ctx.journal is not None:
+            ctx.journal.close()
     rows = (
         _fast_rows(out.raw) if isinstance(out.raw, FastRunResult)
         else _outcome_rows(out)

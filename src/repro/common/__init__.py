@@ -6,6 +6,8 @@ from repro.common.errors import (
     DeviceError,
     ExperimentError,
     GraphError,
+    JournalError,
+    JournalMismatchError,
     ModeledOutOfMemory,
     ModeledOverflow,
     ModeledTimeout,
@@ -15,6 +17,7 @@ from repro.common.errors import (
     ResourceExhausted,
     SchedulerError,
 )
+from repro.common.io import atomic_write_json, fsync_append, read_jsonl
 from repro.common.rng import DEFAULT_SEED, derive_seed, make_rng
 from repro.common.tables import format_value, render_kv, render_table
 
@@ -25,6 +28,8 @@ __all__ = [
     "DeviceError",
     "ExperimentError",
     "GraphError",
+    "JournalError",
+    "JournalMismatchError",
     "ModeledOutOfMemory",
     "ModeledOverflow",
     "ModeledTimeout",
@@ -33,9 +38,12 @@ __all__ = [
     "ReproError",
     "ResourceExhausted",
     "SchedulerError",
+    "atomic_write_json",
     "derive_seed",
     "format_value",
+    "fsync_append",
     "make_rng",
+    "read_jsonl",
     "render_kv",
     "render_table",
 ]

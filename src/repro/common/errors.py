@@ -94,6 +94,23 @@ class SchedulerError(ReproError):
     """The host-side workload scheduler was misconfigured."""
 
 
+class JournalError(ReproError):
+    """The run journal is missing, unreadable, or misused."""
+
+
+class JournalMismatchError(JournalError):
+    """A resume was attempted against a journal of a *different* run.
+
+    The journal header's run fingerprint (query + dataset + backend +
+    deltas + fault seed + executor config) does not match the run
+    being resumed; replaying its partitions would corrupt the counts.
+    The CLI surfaces this as the distinct ``RESUME-MISMATCH`` verdict
+    (exit code 7).
+    """
+
+    verdict = "RESUME-MISMATCH"
+
+
 class ExperimentError(ReproError):
     """An experiment driver received inconsistent parameters."""
 

@@ -1,0 +1,85 @@
+"""Crash-safe file IO shared by the journal, ledger, and benchmarks.
+
+Two primitives cover every persistent artifact the repo writes:
+
+:func:`atomic_write_json`
+    Whole-file replacement through a same-directory temporary file,
+    fsync'd before an atomic ``os.replace``. A reader never observes a
+    truncated file: it sees either the old content or the new content,
+    even if the writer is SIGKILLed mid-write. Benchmark baselines
+    (``BENCH_*.json``) and the device-health ledger use this.
+
+:func:`fsync_append`
+    Append-only record writing for the run journal: the encoded line
+    is written with a single ``os.write`` and fsync'd before the call
+    returns, so a record is either durably complete on disk or absent.
+    JSONL readers additionally tolerate a truncated final line (the
+    one write the crash interrupted).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+
+def atomic_write_json(path: str | Path, payload: Any, *,
+                      indent: int | None = 2) -> None:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON.
+
+    The temporary file lives in the destination directory so the final
+    ``os.replace`` stays within one filesystem (rename atomicity).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def fsync_append(fileno: int, record: dict[str, Any]) -> None:
+    """Durably append one JSONL record to an open file descriptor.
+
+    The record is encoded to a single line, pushed with one
+    ``os.write`` call, and fsync'd; after the call returns the record
+    survives a SIGKILL of the writer.
+    """
+    line = json.dumps(record, sort_keys=True) + "\n"
+    os.write(fileno, line.encode("utf-8"))
+    os.fsync(fileno)
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """All complete records of a JSONL file, skipping a torn tail.
+
+    A crash can interrupt at most the final append (appends are
+    single-write + fsync), so decoding stops at the first line that is
+    not valid JSON — everything before it is trusted.
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                break
+    return records

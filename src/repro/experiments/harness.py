@@ -18,7 +18,7 @@ operation counts at 2.1 GHz, GPU algorithms from the V100 roofline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace as dc_replace
 
 from repro.common.errors import BackendError, ExperimentError
 from repro.common.tables import render_table
@@ -32,6 +32,7 @@ from repro.ldbc.queries import BenchmarkQuery, all_queries, get_query
 from repro.runtime.context import RunContext, StageCache
 from repro.runtime.executor import ExecutorConfig
 from repro.runtime.faults import FaultPlan, RetryPolicy
+from repro.runtime.journal import DeviceHealthLedger, RunJournal
 from repro.runtime.registry import REGISTRY
 
 #: The paper's display names for the Section VII systems, resolvable
@@ -71,6 +72,14 @@ class HarnessConfig:
     buffers: int = 1
     #: Pool implementation for ``workers > 1`` (``thread``/``process``).
     pool: str = "thread"
+    #: Bound on live stage-cache entries (LRU-evicted beyond this).
+    cache_max_entries: int = 256
+    #: Write a crash-safe run journal here (see docs/robustness.md).
+    journal_path: str | None = None
+    #: Resume from an existing journal (implies journaling to it).
+    resume_path: str | None = None
+    #: Persistent device-health ledger steering scheduling decisions.
+    health_ledger_path: str | None = None
 
 
 def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
@@ -82,24 +91,13 @@ def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
     the Edge Validator port budget while keeping every latency ratio.
     """
     base = base or HarnessConfig()
-    return HarnessConfig(
+    return dc_replace(
+        base,
         fpga=FpgaConfig(
             bram_bytes=64 * 1024,
             batch_size=128,
             max_ports=32,
         ),
-        cpu_cost=base.cpu_cost,
-        limits=base.limits,
-        delta=base.delta,
-        seed=base.seed,
-        use_cache=base.use_cache,
-        stage_cache=base.stage_cache,
-        fault_seed=base.fault_seed,
-        fault_rates=base.fault_rates,
-        max_retries=base.max_retries,
-        workers=base.workers,
-        buffers=base.buffers,
-        pool=base.pool,
     )
 
 
@@ -141,7 +139,10 @@ def make_context(
     if cache is None:
         # Explicit None check: an *empty* StageCache is falsy (it has
         # __len__), and it must still be shared, not replaced.
-        cache = StageCache(enabled=config.stage_cache)
+        cache = StageCache(
+            enabled=config.stage_cache,
+            max_entries=config.cache_max_entries,
+        )
     fault_plan = None
     if config.fault_seed is not None or config.fault_rates is not None:
         fault_plan = FaultPlan(
@@ -155,6 +156,14 @@ def make_context(
         RetryPolicy() if config.max_retries is None
         else RetryPolicy(max_retries=config.max_retries)
     )
+    journal = None
+    if config.resume_path is not None:
+        journal = RunJournal(config.resume_path, resume=True)
+    elif config.journal_path is not None:
+        journal = RunJournal(config.journal_path)
+    health_ledger = None
+    if config.health_ledger_path is not None:
+        health_ledger = DeviceHealthLedger.load(config.health_ledger_path)
     return RunContext(
         fpga=config.fpga,
         cpu_cost=config.cpu_cost,
@@ -168,6 +177,8 @@ def make_context(
             buffers=config.buffers,
             pool=config.pool,
         ),
+        journal=journal,
+        health_ledger=health_ledger,
         cache=cache,
     )
 

@@ -32,10 +32,16 @@ from repro.fpga.kernel import MatchPlan
 from repro.fpga.report import KernelReport
 from repro.graph.graph import Graph
 from repro.host.pcie import PcieLink
+from repro.host.runtime import _ledger_scaled_limits
 from repro.query.query_graph import QueryGraph
 from repro.runtime.context import RunContext, RunMetrics
 from repro.runtime.executor import PartitionExecutor, Task, overlap_timeline
 from repro.runtime.faults import DEVICE_DEAD, FaultEvent
+from repro.runtime.journal import (
+    report_from_dict,
+    report_to_dict,
+    run_fingerprint,
+)
 from repro.runtime.stages import (
     build_cst_stage,
     cached_partition_list,
@@ -164,7 +170,22 @@ class MultiFpgaRunner:
         q = plan.query
         cst = build_cst_stage(ctx, plan, data)
 
+        ledger = ctx.health_ledger
+        penalties = (
+            ledger.penalties(self.num_devices)
+            if ledger is not None else (0.0,) * self.num_devices
+        )
+
         limits = ctx.fpga.partition_limits(q)
+        if ledger is not None:
+            # Pre-shrink delta_S when any device's history shows
+            # residency faults: every partition may land on the
+            # degraded card, so the whole worklist gets shorter
+            # kernel residency (counts are delta_S-independent).
+            worst = min(
+                range(self.num_devices), key=ledger.delta_s_scale
+            )
+            limits = _ledger_scaled_limits(ctx, limits, worst)
         with ctx.stage("partition") as st:
             parts, stats, cached = cached_partition_list(
                 ctx, data, cst, plan, limits, k_policy=self.k_policy
@@ -180,11 +201,24 @@ class MultiFpgaRunner:
             )
 
         devices = [DeviceLoad(index=i) for i in range(self.num_devices)]
+
+        def placement_key(d: DeviceLoad) -> tuple[float, float, int]:
+            # Section VII-E min-workload placement, biased by observed
+            # health history: a flaky device's effective load is
+            # inflated by its penalty, so its queue fills last, and the
+            # penalty itself breaks ties at zero load toward healthy
+            # devices. Placement never changes counts — partitions are
+            # complete search spaces wherever they run.
+            return (
+                d.workload * (1.0 + penalties[d.index]),
+                penalties[d.index],
+                d.index,
+            )
+
         with ctx.stage("schedule") as st:
-            # Section VII-E: the device with minimum total workload.
             assignment: list[list] = [[] for _ in devices]
             for part in parts:
-                target = min(devices, key=lambda d: (d.workload, d.index))
+                target = min(devices, key=placement_key)
                 target.workload += estimate_workload(part)
                 target.num_csts += 1
                 assignment[target.index].append(part)
@@ -192,6 +226,8 @@ class MultiFpgaRunner:
                 num_devices=self.num_devices,
                 csts_per_device=tuple(d.num_csts for d in devices),
             )
+            if ledger is not None:
+                st.note(device_penalties=penalties)
 
         health = ctx.health
         fplan = ctx.fault_plan
@@ -219,9 +255,7 @@ class MultiFpgaRunner:
                     if device.index not in dead:
                         continue
                     for part in assignment[device.index]:
-                        target = min(
-                            survivors, key=lambda d: (d.workload, d.index)
-                        )
+                        target = min(survivors, key=placement_key)
                         target.workload += estimate_workload(part)
                         target.num_csts += 1
                         assignment[target.index].append(part)
@@ -241,16 +275,72 @@ class MultiFpgaRunner:
             exec_cfg = ctx.executor
             pool = PartitionExecutor(exec_cfg)
             active = [d for d in devices if assignment[d.index]]
+
+            # Crash safety: each completed device queue is one durable
+            # journal record; a resumed run replays finished devices
+            # and re-runs only the rest. The fingerprint additionally
+            # pins the placement (csts per device) and the dead set,
+            # both deterministic given the same ledger state — which a
+            # crash cannot have changed, since the ledger persists only
+            # at finish_run.
+            journal = ctx.journal
+            done: dict[int, tuple] = {}
+            if journal is not None:
+                fingerprint = run_fingerprint(
+                    ctx, plan, data, self.variant,
+                    (stats.num_partitions, 0, stats.total_bytes),
+                    exec_cfg.buffers, False,
+                    extra=(
+                        "multi", self.num_devices,
+                        tuple(d.num_csts for d in devices),
+                        tuple(sorted(dead)),
+                    ),
+                )
+                journal.ensure_header(
+                    fingerprint,
+                    backend="multi-fpga",
+                    num_devices=self.num_devices,
+                )
+                if journal.resume:
+                    active_idx = {d.index for d in active}
+                    for idx, rec in journal.device_records().items():
+                        if idx not in active_idx:
+                            continue
+                        done[idx] = (
+                            report_from_dict(rec["kernel"]),
+                            rec["pcie_seconds"],
+                            [(w, k) for w, k in rec["segments"]],
+                            rec["fetch_seconds"],
+                        )
+            resumed_devices = len(done)
+
+            pending = [d for d in active if d.index not in done]
             tasks: list[Task] = [
                 (_run_device,
                  (ctx.fpga, self.variant, assignment[d.index],
                   plan.match_plan, q.num_vertices))
-                for d in active
+                for d in pending
             ]
+
+            def on_device_done(pos: int, result: tuple) -> None:
+                idx = pending[pos].index
+                done[idx] = result
+                if journal is not None:
+                    kernel, pcie, segments, fetch = result
+                    journal.append({
+                        "type": "device",
+                        "index": idx,
+                        "kernel": report_to_dict(kernel),
+                        "pcie_seconds": pcie,
+                        "segments": [[w, k] for w, k in segments],
+                        "fetch_seconds": fetch,
+                    })
+
+            pool.run(tasks, on_result=on_device_done)
+
             device_seconds: list[float] = []
-            for device, (kernel, pcie, segments, fetch) in zip(
-                active, pool.run(tasks)
-            ):
+            for device in active:
+                kernel, pcie, segments, fetch = done[device.index]
                 device.kernel = kernel
                 device.pcie_seconds = pcie
                 if exec_cfg.buffers <= 1:
@@ -271,6 +361,12 @@ class MultiFpgaRunner:
                 workers=exec_cfg.workers,
                 buffers=exec_cfg.buffers,
             )
+            if journal is not None:
+                st.note(
+                    journaled=True,
+                    journal_path=str(journal.path),
+                    resumed_devices=resumed_devices,
+                )
 
         with ctx.stage("merge") as st:
             embeddings = sum(

@@ -34,6 +34,8 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import DeviceError
 from repro.costs.cpu import CpuCostModel
+from repro.cst.partition import PartitionLimits
+from repro.cst.structure import ENTRY_BYTES
 from repro.fpga.config import FpgaConfig
 from repro.fpga.report import KernelReport
 from repro.graph.graph import Graph
@@ -55,6 +57,29 @@ RUNNER_VARIANTS = ("dram", "basic", "task", "sep", "share")
 
 #: Registry backend name per runner variant.
 BACKEND_NAMES = {v: f"fast-{v}" for v in RUNNER_VARIANTS}
+
+
+def _ledger_scaled_limits(
+    ctx: RunContext, limits: PartitionLimits, device: int
+) -> PartitionLimits:
+    """Pre-shrink ``delta_S`` for a device the health ledger flags.
+
+    A device with a history of residency faults (kernel timeouts, BRAM
+    soft errors) gets smaller partitions up front — shorter kernel
+    residency per launch — instead of rediscovering the problem through
+    the degradation ladder every run. Counts are unaffected: partitions
+    stay complete search spaces at any ``delta_S``.
+    """
+    ledger = ctx.health_ledger
+    if ledger is None:
+        return limits
+    scale = ledger.delta_s_scale(device)
+    if scale >= 1.0:
+        return limits
+    return PartitionLimits(
+        max_bytes=max(int(limits.max_bytes * scale), ENTRY_BYTES),
+        max_degree=limits.max_degree,
+    )
 
 
 @dataclass
@@ -166,6 +191,7 @@ class FastRunner:
                 "sep" if self.variant == "share" else self.variant
             )
             limits = ctx.fpga.partition_limits(plan.query)
+            limits = _ledger_scaled_limits(ctx, limits, device=0)
             work = partition_stage(
                 ctx, data, cst, plan,
                 limits=limits,

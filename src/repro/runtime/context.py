@@ -28,6 +28,7 @@ from repro.fpga.config import FpgaConfig
 from repro.graph.graph import Graph
 from repro.runtime.executor import ExecutorConfig
 from repro.runtime.faults import FaultPlan, HealthReport, RetryPolicy
+from repro.runtime.journal import DeviceHealthLedger, RunJournal
 
 #: Canonical stage order of the pipeline (documented in docs/runtime.md).
 STAGES = ("plan", "build_cst", "partition", "schedule", "execute", "merge")
@@ -102,10 +103,11 @@ class RunMetrics:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one cache namespace."""
+    """Hit/miss/eviction counters of one cache namespace."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -116,6 +118,7 @@ class CacheStats:
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_rate": self.hit_rate,
         }
 
@@ -129,6 +132,12 @@ class StageCache:
     limits, and the split policies). Keys rely on
     :class:`~repro.graph.graph.Graph` equality, which compares CSR
     content, so two structurally identical graphs share entries.
+
+    The store is bounded: at most ``max_entries`` values live at once,
+    evicted least-recently-used (a hit refreshes recency), so long
+    harness sweeps cannot grow the cache without limit. Hits, misses,
+    and evictions are counted per namespace and stamped into every
+    run's metrics payload by :meth:`RunContext.finish_run`.
     """
 
     def __init__(self, enabled: bool = True, max_entries: int = 256) -> None:
@@ -159,12 +168,18 @@ class StageCache:
             full_key = (namespace, *key)
             if full_key in self._store:
                 stats.hits += 1
-                return self._store[full_key], True
+                # LRU refresh: move the hit to the most-recent end.
+                value = self._store.pop(full_key)
+                self._store[full_key] = value
+                return value, True
             stats.misses += 1
             value = build()
-            if len(self._store) >= self.max_entries:
-                # Drop the oldest entry (dicts preserve insertion order).
-                self._store.pop(next(iter(self._store)))
+            while len(self._store) >= self.max_entries:
+                # Evict the least-recently-used entry (insertion order
+                # doubles as recency order under the refresh above).
+                evicted_key = next(iter(self._store))
+                self._store.pop(evicted_key)
+                self.namespace_stats(evicted_key[0]).evictions += 1
             self._store[full_key] = value
             return value, False
 
@@ -203,6 +218,16 @@ class RunContext:
     #: knobs of the execute stage; the default is serial execution
     #: with no transfer/compute overlap (the original behavior).
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    #: Crash-safe run journal; when set, the execute stage records
+    #: every completed partition outcome and (in resume mode) replays
+    #: completed work instead of re-executing it. See
+    #: :mod:`repro.runtime.journal` and docs/robustness.md.
+    journal: RunJournal | None = None
+    #: Accumulated device-health history; when set, the scheduler
+    #: steers partitions away from flaky devices and pre-shrinks the
+    #: effective delta_S for degraded ones, and ``finish_run`` folds
+    #: each run's health report back in (persisting if path-backed).
+    health_ledger: DeviceHealthLedger | None = None
     cache: StageCache = field(default_factory=StageCache)
     metrics: RunMetrics | None = None
     history: list[RunMetrics] = field(default_factory=list)
@@ -218,9 +243,13 @@ class RunContext:
         return self.metrics
 
     def finish_run(self) -> RunMetrics:
-        """Stamp the cumulative cache statistics onto the current run."""
+        """Stamp cache statistics and fold health into the ledger."""
         metrics = self.current_metrics
         metrics.cache = self.cache.stats()
+        if self.health_ledger is not None:
+            self.health_ledger.record_metrics(metrics)
+            if self.health_ledger.path is not None:
+                self.health_ledger.save()
         return metrics
 
     @property

@@ -41,7 +41,11 @@ two knobs are deliberately orthogonal.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -137,8 +141,12 @@ class PartitionOutcome:
     backoff_wall_seconds: float = 0.0
     #: Fault events in deterministic depth-first order.
     events: list = field(default_factory=list)
-    #: Partitions that exhausted the ladder and go to the CPU matcher.
-    fallback_parts: list = field(default_factory=list)
+    #: CPU-fallback results of partitions that exhausted the ladder:
+    #: ``(found_embeddings, counters)`` per fallback, in ladder order.
+    #: Running the fallback inside the supervisor keeps each
+    #: :class:`PartitionOutcome` self-contained, which is what lets
+    #: the run journal persist a partition as one complete record.
+    fallbacks: list = field(default_factory=list)
 
 
 class PartitionExecutor:
@@ -153,11 +161,29 @@ class PartitionExecutor:
     def __init__(self, config: ExecutorConfig | None = None) -> None:
         self.config = config or ExecutorConfig()
 
-    def run(self, tasks: Sequence[Task]) -> list[Any]:
-        """Execute ``tasks``; results are returned in task order."""
+    def run(
+        self,
+        tasks: Sequence[Task],
+        on_result: Callable[[int, Any], None] | None = None,
+    ) -> list[Any]:
+        """Execute ``tasks``; results are returned in task order.
+
+        ``on_result(index, result)`` fires in the calling process as
+        each task *completes* (not in task order), which is what the
+        run journal hooks to persist outcomes the moment they exist —
+        a crash loses at most the in-flight partitions. Callbacks run
+        on the caller's side of any process pool, so they may close
+        over unpicklable state.
+        """
         cfg = self.config
         if cfg.workers <= 1 or len(tasks) <= 1:
-            return [fn(*args) for fn, args in tasks]
+            results = []
+            for i, (fn, args) in enumerate(tasks):
+                result = fn(*args)
+                if on_result is not None:
+                    on_result(i, result)
+                results.append(result)
+            return results
         workers = min(cfg.workers, len(tasks))
         if cfg.pool == "process":
             pool_cls: Callable[..., Any] = ProcessPoolExecutor
@@ -165,6 +191,10 @@ class PartitionExecutor:
             pool_cls = ThreadPoolExecutor
         with pool_cls(max_workers=workers) as pool:
             futures = [pool.submit(fn, *args) for fn, args in tasks]
+            if on_result is not None:
+                index_of = {id(f): i for i, f in enumerate(futures)}
+                for f in as_completed(futures):
+                    on_result(index_of[id(f)], f.result())
             return [f.result() for f in futures]
 
     def map(

@@ -68,6 +68,14 @@ from repro.runtime.executor import (
     overlap_timeline,
 )
 from repro.runtime.faults import FAULT_ERRORS, FaultEvent
+from repro.runtime.journal import (
+    counters_from_dict,
+    counters_to_dict,
+    event_from_dict,
+    outcome_from_record,
+    outcome_to_record,
+    run_fingerprint,
+)
 
 
 @dataclass(frozen=True)
@@ -118,6 +126,9 @@ class ExecuteOutcome:
     #: FPGA-side modeled seconds after the overlap timeline (equals
     #: ``pcie + kernel + fault_overhead`` at ``buffers = 1``).
     fpga_seconds: float = 0.0
+    #: How many partitions were replayed from a resume journal instead
+    #: of executed (0 for fresh runs).
+    resumed_partitions: int = 0
 
 
 @dataclass
@@ -301,6 +312,16 @@ def schedule_stage(ctx: RunContext, work: ScheduledWork) -> ScheduledWork:
             cpu_workload_fraction=work.scheduler.cpu_fraction,
             delta=work.scheduler.delta,
         )
+        ledger = ctx.health_ledger
+        if ledger is not None:
+            # Single-device runs place all FPGA work on device 0; the
+            # ledger's influence here is the pre-shrunk delta_S the
+            # runner applied before partitioning (multi-FPGA placement
+            # additionally steers whole partitions between devices).
+            st.note(
+                device_penalty=ledger.penalty(0),
+                delta_s_scale=ledger.delta_s_scale(0),
+            )
     return work
 
 
@@ -464,23 +485,49 @@ def _supervise_partition(
     the LIFO pop order equals the old depth-first traversal, which
     keeps fault-event order — and therefore the health record —
     bit-identical to serial execution. Everything the ladder produces
-    is accumulated privately in a :class:`PartitionOutcome`; the stage
-    merges outcomes in partition-index order.
+    is accumulated privately in a :class:`PartitionOutcome` — including
+    CPU-fallback matching, which runs inside the task so the outcome
+    is a self-contained, journalable unit; the stage merges outcomes
+    in partition-index order.
+
+    With a run journal active, each rung decision (retries exhausted →
+    re-partition or CPU fallback) is written ahead as a ``ladder``
+    record. A resumed run finds those records and *continues* the
+    ladder: the already-exhausted retry attempts are replayed from the
+    journal (same charged backoff and wasted work, same fault events)
+    instead of being re-attempted.
     """
     cfg = ctx.fpga
     policy = ctx.retry_policy
     engine = FastEngine(cfg, engine_variant)
     link = PcieLink(cfg)
+    journal = ctx.journal
+    ladder_replay = (
+        journal.ladder_records()
+        if journal is not None and journal.resume else {}
+    )
     out = PartitionOutcome()
     stack: list[tuple[CST, tuple, bool]] = [(part, ("partition", idx), True)]
     while stack:
         cur, scope, may_repartition = stack.pop()
-        report, pcie, overhead, backoff, events, last_kind = (
-            _attempt_partition(
-                ctx, engine, link, cur, scope,
-                plan.match_plan, collect_results,
+        replayed = ladder_replay.get(scope)
+        if replayed is not None:
+            # The journal already saw this scope exhaust its retries:
+            # continue the ladder from the recorded rung instead of
+            # re-running the attempts.
+            report = None
+            pcie = replayed["pcie_seconds"]
+            overhead = replayed["overhead_seconds"]
+            backoff = replayed["backoff_wall_seconds"]
+            events = [event_from_dict(e) for e in replayed["events"]]
+            last_kind = replayed["kind"]
+        else:
+            report, pcie, overhead, backoff, events, last_kind = (
+                _attempt_partition(
+                    ctx, engine, link, cur, scope,
+                    plan.match_plan, collect_results,
+                )
             )
-        )
         out.pcie_seconds += pcie
         out.overhead_seconds += overhead
         out.backoff_wall_seconds += backoff
@@ -492,34 +539,51 @@ def _supervise_partition(
             # (kernel plus wasted kernel work and backoff).
             out.segments.append((pcie, report.seconds + overhead))
             continue
+        split = None
         if may_repartition and limits is not None:
             split = _tightened_subpartitions(
                 ctx, data, cur, plan, limits, scope
             )
-            if split is not None:
-                subparts, stats = split
-                out.events.append(FaultEvent(
-                    kind=last_kind, scope=scope,
-                    attempt=policy.max_retries, action="repartition",
-                ))
-                host_cost = ctx.host_seconds(
-                    stats.total_bytes // ENTRY_BYTES, data
-                )
-                # Re-partitioning runs on the host, not the card: it is
-                # part of the flat fault overhead but stays out of the
-                # overlapped card timeline (tracked separately).
-                out.overhead_seconds += host_cost
-                out.host_overhead_seconds += host_cost
-                out.segments.append((pcie, overhead))
-                for j, sub in reversed(list(enumerate(subparts))):
-                    stack.append((sub, (*scope, j), False))
-                continue
+        if journal is not None and journal.active and replayed is None:
+            # Write-ahead: the rung decision is durable before the
+            # re-partition/fallback work starts.
+            journal.append({
+                "type": "ladder",
+                "index": idx,
+                "scope": list(scope),
+                "kind": last_kind,
+                "action": (
+                    "repartition" if split is not None else "cpu_fallback"
+                ),
+                "pcie_seconds": pcie,
+                "overhead_seconds": overhead,
+                "backoff_wall_seconds": backoff,
+                "events": [e.to_dict() for e in events],
+            })
+        if split is not None:
+            subparts, stats = split
+            out.events.append(FaultEvent(
+                kind=last_kind, scope=scope,
+                attempt=policy.max_retries, action="repartition",
+            ))
+            host_cost = ctx.host_seconds(
+                stats.total_bytes // ENTRY_BYTES, data
+            )
+            # Re-partitioning runs on the host, not the card: it is
+            # part of the flat fault overhead but stays out of the
+            # overlapped card timeline (tracked separately).
+            out.overhead_seconds += host_cost
+            out.host_overhead_seconds += host_cost
+            out.segments.append((pcie, overhead))
+            for j, sub in reversed(list(enumerate(subparts))):
+                stack.append((sub, (*scope, j), False))
+            continue
         out.events.append(FaultEvent(
             kind=last_kind, scope=scope,
             attempt=policy.max_retries, action="cpu_fallback",
         ))
         out.segments.append((pcie, overhead))
-        out.fallback_parts.append(cur)
+        out.fallbacks.append(_run_cpu_partition(cur, plan.order))
     return out
 
 
@@ -567,6 +631,15 @@ def execute_stage(
     Recovery costs are charged as ``fault_overhead_seconds`` on the
     FPGA side of the overlap and ``fallback_seconds`` after it; both
     are exactly zero — and the arithmetic unchanged — without faults.
+
+    With ``ctx.journal`` set, the stage is crash-safe: the journal
+    header pins the run fingerprint and every completed partition is
+    appended as one durable record the moment it finishes. In resume
+    mode, journaled partitions are replayed (bit-identical counts,
+    modeled seconds, and fault events) and only the remaining worklist
+    is dispatched; a fingerprint mismatch raises
+    :class:`~repro.common.errors.JournalMismatchError` before any work
+    runs.
     """
     cfg = ctx.fpga
     q = plan.query
@@ -577,6 +650,7 @@ def execute_stage(
         # lock), which does not pickle; they run under threads instead.
         exec_cfg = replace(exec_cfg, pool="thread")
     pool = PartitionExecutor(exec_cfg)
+    journal = ctx.journal
     with ctx.stage("execute") as st:
         link = PcieLink(cfg)
         kernel_total = KernelReport(
@@ -586,64 +660,132 @@ def execute_stage(
             kernel_total.results = []
         health = ctx.health
         health.device_status.setdefault(0, "ok")
-        pcie_seconds = 0.0
-        fault_overhead = 0.0
-        host_overhead = 0.0
-        segments: list[tuple[float, float]] = []
-        fallback_parts: list[CST] = []
+        n_fpga = len(work.fpga_parts)
+        n_cpu = len(work.cpu_parts)
+
+        # -- journal open / replay -------------------------------------
+        outcomes: dict[int, PartitionOutcome] = {}
+        cpu_done: dict[int, tuple[list, CpuMatchCounters]] = {}
+        if journal is not None:
+            total_bytes = sum(
+                p.size_bytes() for p in (*work.fpga_parts, *work.cpu_parts)
+            )
+            fingerprint = run_fingerprint(
+                ctx, plan, data, engine_variant,
+                (n_fpga, n_cpu, total_bytes),
+                exec_cfg.buffers, collect_results,
+            )
+            journal.ensure_header(
+                fingerprint,
+                backend=ctx.current_metrics.backend,
+                fpga_partitions=n_fpga,
+                cpu_partitions=n_cpu,
+            )
+            if journal.resume:
+                for i, rec in journal.partition_records().items():
+                    if 0 <= i < n_fpga:
+                        outcomes[i] = outcome_from_record(rec)
+                for j, rec in journal.cpu_records().items():
+                    if not 0 <= j < n_cpu:
+                        continue
+                    stored = rec.get("results")
+                    found = (
+                        [tuple(r) for r in stored]
+                        if stored is not None
+                        else [()] * rec["embeddings"]
+                    )
+                    cpu_done[j] = (found, counters_from_dict(rec["counters"]))
+        resumed = len(outcomes) + len(cpu_done)
 
         # FPGA and CPU-share partitions are all independent, so one
-        # pool dispatch covers both; slicing recovers each family in
-        # its original partition order.
+        # pool dispatch covers both; only work the journal has not
+        # already completed is dispatched. Completion callbacks run on
+        # the calling thread and persist each outcome as it lands.
+        pending_fpga = [i for i in range(n_fpga) if i not in outcomes]
+        pending_cpu = [j for j in range(n_cpu) if j not in cpu_done]
         if supervised:
             fpga_tasks: list[Task] = [
                 (_supervise_partition,
                  (ctx, data, plan, limits, engine_variant,
-                  collect_results, fpart, idx))
-                for idx, fpart in enumerate(work.fpga_parts)
+                  collect_results, work.fpga_parts[i], i))
+                for i in pending_fpga
             ]
         else:
             fpga_tasks = [
                 (_run_fpga_partition,
-                 (cfg, engine_variant, fpart, plan.match_plan,
+                 (cfg, engine_variant, work.fpga_parts[i], plan.match_plan,
                   collect_results))
-                for fpart in work.fpga_parts
+                for i in pending_fpga
             ]
         cpu_tasks: list[Task] = [
-            (_run_cpu_partition, (cpart, plan.order))
-            for cpart in work.cpu_parts
+            (_run_cpu_partition, (work.cpu_parts[j], plan.order))
+            for j in pending_cpu
         ]
-        mixed = pool.run([*fpga_tasks, *cpu_tasks])
-        fpga_done = mixed[:len(fpga_tasks)]
-        cpu_done = mixed[len(fpga_tasks):]
 
-        if supervised:
-            backoff_wall = 0.0
-            for out in fpga_done:
-                for report in out.reports:
-                    kernel_total.merge(report)
-                pcie_seconds += out.pcie_seconds
-                fault_overhead += out.overhead_seconds
-                host_overhead += out.host_overhead_seconds
-                backoff_wall += out.backoff_wall_seconds
-                segments.extend(out.segments)
-                for event in out.events:
-                    health.record(event)
-                fallback_parts.extend(out.fallback_parts)
-            # Backoff is charged, not slept: it is booked as stage wall
-            # time on top of the real elapsed time.
-            st.wall_seconds += backoff_wall
-        else:
-            for fpart, report in zip(work.fpga_parts, fpga_done):
-                cost = link.send_to_card(fpart.size_bytes())
-                pcie_seconds += cost
+        def on_done(pos: int, result: object) -> None:
+            if pos < len(fpga_tasks):
+                i = pending_fpga[pos]
+                if supervised:
+                    out = result
+                else:
+                    # One clean launch: transfer cost + kernel report.
+                    cost = link.send_to_card(
+                        work.fpga_parts[i].size_bytes()
+                    )
+                    out = PartitionOutcome(
+                        reports=[result],
+                        segments=[(cost, result.seconds)],
+                        pcie_seconds=cost,
+                    )
+                outcomes[i] = out
+                if journal is not None:
+                    journal.append(
+                        outcome_to_record(i, out, collect_results)
+                    )
+            else:
+                j = pending_cpu[pos - len(fpga_tasks)]
+                found, counters = result
+                cpu_done[j] = (found, counters)
+                if journal is not None:
+                    journal.append({
+                        "type": "cpu",
+                        "index": j,
+                        "embeddings": len(found),
+                        "counters": counters_to_dict(counters),
+                        "results": (
+                            [list(r) for r in found]
+                            if collect_results else None
+                        ),
+                    })
+
+        pool.run([*fpga_tasks, *cpu_tasks], on_result=on_done)
+
+        # -- merge in partition-index order ----------------------------
+        pcie_seconds = 0.0
+        fault_overhead = 0.0
+        host_overhead = 0.0
+        backoff_wall = 0.0
+        segments: list[tuple[float, float]] = []
+        for i in range(n_fpga):
+            out = outcomes[i]
+            for report in out.reports:
                 kernel_total.merge(report)
-                segments.append((cost, report.seconds))
+            pcie_seconds += out.pcie_seconds
+            fault_overhead += out.overhead_seconds
+            host_overhead += out.host_overhead_seconds
+            backoff_wall += out.backoff_wall_seconds
+            segments.extend(out.segments)
+            for event in out.events:
+                health.record(event)
+        # Backoff is charged, not slept: it is booked as stage wall
+        # time on top of the real elapsed time (zero without faults).
+        st.wall_seconds += backoff_wall
 
         cpu_counters = CpuMatchCounters()
         cpu_embeddings = 0
         cpu_results: list[tuple[int, ...]] = []
-        for found, counters in cpu_done:
+        for j in range(n_cpu):
+            found, counters = cpu_done[j]
             cpu_counters.merge(counters)
             cpu_embeddings += len(found)
             if collect_results:
@@ -664,17 +806,17 @@ def execute_stage(
 
         # Fallback partitions run on the host *after* their FPGA
         # attempts failed, so their time cannot hide in the overlap
-        # window; it is charged on top of the stage total.
+        # window; it is charged on top of the stage total. The matching
+        # itself happened inside each supervisor task (which is what
+        # makes an outcome journalable as one record); here the
+        # counters merge in partition-index, then ladder, order.
         fallback_counters = CpuMatchCounters()
-        fallback_done = pool.run([
-            (_run_cpu_partition, (fpart, plan.order))
-            for fpart in fallback_parts
-        ])
-        for found, counters in fallback_done:
-            fallback_counters.merge(counters)
-            cpu_embeddings += len(found)
-            if collect_results:
-                cpu_results.extend(found)
+        for i in range(n_fpga):
+            for found, counters in outcomes[i].fallbacks:
+                fallback_counters.merge(counters)
+                cpu_embeddings += len(found)
+                if collect_results:
+                    cpu_results.extend(found)
         fallback_serial = ctx.cpu_cost.seconds(
             OpCounters(
                 recursive_calls=fallback_counters.recursive_calls,
@@ -725,6 +867,12 @@ def execute_stage(
             buffers=exec_cfg.buffers,
             pool=exec_cfg.pool,
         )
+        if journal is not None:
+            st.note(
+                journaled=True,
+                journal_path=str(journal.path),
+                resumed_partitions=resumed,
+            )
     return ExecuteOutcome(
         kernel=kernel_total,
         cpu_embeddings=cpu_embeddings,
@@ -734,6 +882,7 @@ def execute_stage(
         fault_overhead_seconds=fault_overhead,
         fallback_seconds=fallback_seconds,
         fpga_seconds=fpga_seconds,
+        resumed_partitions=resumed,
     )
 
 
@@ -756,6 +905,8 @@ def merge_stage(
             results.extend(executed.cpu_results)
         total_seconds = ctx.current_metrics.modeled_seconds
         st.note(embeddings=embeddings, total_seconds=total_seconds)
+        if executed.resumed_partitions:
+            st.note(resumed_partitions=executed.resumed_partitions)
     return MergedRun(
         embeddings=embeddings,
         total_seconds=total_seconds,

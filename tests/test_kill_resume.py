@@ -1,0 +1,218 @@
+"""Subprocess kill/resume tests: SIGKILL mid-execute, then resume.
+
+The acceptance property of the run journal (ISSUE 4): a run SIGKILLed
+mid-execute and restarted with ``--resume`` produces bit-identical
+embedding counts, modeled seconds, and health report to an
+uninterrupted run — across FAST-SEP, the multi-FPGA runner, a faulted
+seed, and any worker/buffer count. The kill is injected with the
+``REPRO_JOURNAL_CRASH_AFTER`` hook, which SIGKILLs the child process
+from inside the journal's append path after a seeded number of durable
+records — the harshest possible interruption point.
+
+These tests spawn real subprocesses (a SIGKILL cannot be simulated
+in-process without taking pytest down with it); the in-process resume
+semantics live in ``test_journal.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Canonical child run: executes one backend and prints a JSON line of
+#: everything that must be bit-identical across kill/resume.
+CHILD_SCRIPT = textwrap.dedent("""
+    import json
+    import sys
+
+    from repro.experiments.harness import (
+        HarnessConfig, make_context, tight_config,
+    )
+    from repro.ldbc.datasets import load_dataset
+    from repro.ldbc.queries import get_query
+    from repro.runtime.registry import REGISTRY
+
+    (backend, dataset, query, journal, mode,
+     fault_seed, workers, buffers, tight) = sys.argv[1:10]
+    config = HarnessConfig(
+        fault_seed=None if fault_seed == "-" else int(fault_seed),
+        workers=int(workers),
+        buffers=int(buffers),
+        journal_path=journal if mode == "record" else None,
+        resume_path=journal if mode == "resume" else None,
+    )
+    if tight == "1":
+        config = tight_config(config)
+    ctx = make_context(config)
+    out = REGISTRY.get(backend).run(
+        ctx, get_query(query).graph, load_dataset(dataset).graph
+    )
+    if ctx.journal is not None:
+        ctx.journal.close()
+    print(json.dumps({
+        "embeddings": out.embeddings,
+        "modeled_seconds": out.seconds,
+        "health": out.health,
+    }, sort_keys=True))
+""")
+
+
+def run_child(backend, journal, mode, *, dataset="DG-MINI", query="q1",
+              fault_seed=None, workers=1, buffers=1, tight=False,
+              crash_after=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_JOURNAL_CRASH_AFTER", None)
+    if crash_after is not None:
+        env["REPRO_JOURNAL_CRASH_AFTER"] = str(crash_after)
+    return subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT, backend, dataset, query,
+         str(journal), mode,
+         "-" if fault_seed is None else str(fault_seed),
+         str(workers), str(buffers), "1" if tight else "0"],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+def assert_killed(proc):
+    assert proc.returncode == -signal.SIGKILL, (
+        f"expected SIGKILL, got rc={proc.returncode}: "
+        f"{proc.stderr[-500:]}"
+    )
+
+
+def kill_resume_case(tmp_path, backend, *, crash_after, **kwargs):
+    """Run baseline / killed / resumed; return the two payload lines."""
+    journal = tmp_path / "run.jsonl"
+    baseline = run_child(backend, journal, "none", **kwargs)
+    assert baseline.returncode == 0, baseline.stderr[-800:]
+
+    killed = run_child(backend, journal, "record",
+                       crash_after=crash_after, **kwargs)
+    assert_killed(killed)
+    # The SIGKILL landed after ``crash_after`` durable appends: the
+    # journal holds exactly header + crash_after complete records.
+    lines = journal.read_text().splitlines()
+    assert len(lines) == 1 + crash_after
+    assert json.loads(lines[0])["type"] == "header"
+
+    resumed = run_child(backend, journal, "resume", **kwargs)
+    assert resumed.returncode == 0, resumed.stderr[-800:]
+    return baseline.stdout.strip(), resumed.stdout.strip()
+
+
+class TestKillResume:
+    def test_fast_sep_bit_identical(self, tmp_path):
+        base, res = kill_resume_case(
+            tmp_path, "fast-sep", crash_after=7, tight=True,
+        )
+        assert res == base
+
+    def test_concurrent_overlapped_bit_identical(self, tmp_path):
+        # Modeled results may depend on buffers but never on workers;
+        # both knobs must survive kill/resume unchanged.
+        base, res = kill_resume_case(
+            tmp_path, "fast-sep", crash_after=5, tight=True,
+            workers=4, buffers=3,
+        )
+        assert res == base
+
+    def test_faulted_seed_bit_identical(self, tmp_path):
+        base, res = kill_resume_case(
+            tmp_path, "fast-share", crash_after=6, tight=True,
+            fault_seed=11,
+        )
+        assert res == base
+        # The fault schedule actually fired, so the health report the
+        # resumed run replayed from the journal is non-trivial.
+        assert json.loads(base)["health"]["fault_events"]
+
+    def test_multi_fpga_bit_identical(self, tmp_path):
+        base, res = kill_resume_case(
+            tmp_path, "multi-fpga", crash_after=1, tight=True,
+        )
+        assert res == base
+
+
+class TestCliResume:
+    """End-to-end ``match --journal`` / ``--resume`` through the CLI."""
+
+    def cli(self, args, crash_after=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        env.pop("REPRO_JOURNAL_CRASH_AFTER", None)
+        if crash_after is not None:
+            env["REPRO_JOURNAL_CRASH_AFTER"] = str(crash_after)
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "match", *args],
+            capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+            timeout=300,
+        )
+
+    def test_kill_then_resume_matches_uninterrupted(self, tmp_path):
+        journal = tmp_path / "cli.jsonl"
+        base_args = ["--dataset", "DG-MINI", "--query", "q1"]
+        baseline = self.cli(base_args)
+        assert baseline.returncode == 0
+
+        killed = self.cli([*base_args, "--journal", str(journal)],
+                          crash_after=10)
+        assert_killed(killed)
+
+        resumed = self.cli([*base_args, "--resume", str(journal)])
+        assert resumed.returncode == 0, resumed.stderr[-800:]
+        strip = [
+            line for line in resumed.stdout.splitlines()
+            if "resumed_partitions" not in line
+        ]
+        assert "\n".join(strip) == baseline.stdout.rstrip("\n")
+        assert "resumed_partitions: 10" in resumed.stdout
+
+    def test_fingerprint_mismatch_exits_7(self, tmp_path):
+        journal = tmp_path / "cli.jsonl"
+        recorded = self.cli(["--dataset", "DG-MINI", "--query", "q1",
+                             "--journal", str(journal)])
+        assert recorded.returncode == 0
+        mismatched = self.cli(["--dataset", "DG-MINI", "--query", "q2",
+                               "--resume", str(journal)])
+        assert mismatched.returncode == 7
+        assert "RESUME-MISMATCH" in mismatched.stderr
+        assert len(mismatched.stderr.splitlines()) == 1  # one-line verdict
+
+    def test_resume_missing_journal_is_fatal_not_traceback(self, tmp_path):
+        proc = self.cli(["--dataset", "DG-MINI", "--query", "q1",
+                         "--resume", str(tmp_path / "absent.jsonl")])
+        assert proc.returncode == 6
+        assert "Traceback" not in proc.stderr
+
+
+@pytest.mark.slow
+class TestKillResumeSweep:
+    """Crash at every journal index of a small run (exhaustive)."""
+
+    def test_every_crash_point_resumes_identically(self, tmp_path):
+        journal = tmp_path / "sweep.jsonl"
+        baseline = run_child("fast-sep", journal, "none", tight=True)
+        assert baseline.returncode == 0
+        full = run_child("fast-sep", journal, "record", tight=True)
+        assert full.returncode == 0
+        total = len(journal.read_text().splitlines()) - 1  # minus header
+        for crash_after in range(1, total, max(1, total // 6)):
+            journal.unlink()
+            killed = run_child("fast-sep", journal, "record",
+                               crash_after=crash_after, tight=True)
+            assert_killed(killed)
+            resumed = run_child("fast-sep", journal, "resume",
+                                tight=True)
+            assert resumed.returncode == 0, resumed.stderr[-800:]
+            assert resumed.stdout == baseline.stdout
