@@ -28,6 +28,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from repro.common.io import atomic_write_json
 from repro.experiments.harness import HarnessConfig, make_context, tight_config
 from repro.ldbc.datasets import load_dataset
 from repro.ldbc.queries import get_query
@@ -107,9 +108,15 @@ def collect(repeats: int = 3) -> dict:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="additionally write the payload to PATH "
+                             "(atomic whole-file replacement)")
     args = parser.parse_args(argv)
     payload = collect(repeats=args.repeats)
     print(json.dumps(payload, indent=2))
+    if args.out is not None:
+        # Crash-safe baseline writing, same primitive as BENCH_*.json.
+        atomic_write_json(args.out, payload)
     print(
         f"journal overhead {payload['journal_overhead']:.3f}x, "
         f"50%-resume ratio {payload['resume_ratio']:.3f}x",

@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Four subcommands mirror the common workflows::
+Five subcommands mirror the common workflows::
 
     python -m repro match    --dataset DG-MINI --query q1 [--backend fast-share]
     python -m repro compare  --dataset DG-MINI --query q2 [--algorithms ...]
     python -m repro info     --dataset DG01
     python -m repro backends
+    python -m repro trace-summary out.trace.json
 
 ``match`` runs any registered backend on one query (``--variant`` is a
 shorthand for the five FAST variants), ``compare`` pits any set of
@@ -19,8 +20,13 @@ to run under an injected-fault schedule (docs/robustness.md), and
 the modeled double-buffered overlap pipeline (docs/runtime.md).
 ``match`` additionally takes ``--journal`` (record a crash-safe run
 journal), ``--resume`` (replay a journal's completed partitions and
-finish the rest), and ``--health-ledger`` (persistent device-health
-history steering scheduling). Failure verdicts exit with a one-line
+finish the rest), ``--health-ledger`` (persistent device-health
+history steering scheduling), ``--trace`` (export the run as a
+Perfetto-loadable Chrome trace-event JSON timeline), and
+``--metrics-out`` (write the run's metrics as Prometheus text
+exposition); ``trace-summary`` prints the slowest spans of a recorded
+trace without opening Perfetto (docs/observability.md covers all
+three). Failure verdicts exit with a one-line
 message and a distinct code instead of a traceback: 3 = OOM, 4 = INF,
 5 = OVERFLOW, 6 = fatal runtime error, 7 = resume fingerprint mismatch
 (1 stays the embedding-count-disagreement code of ``compare``, 2 the
@@ -30,7 +36,9 @@ usage-error code).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.common.errors import (
     BackendError,
@@ -38,12 +46,18 @@ from repro.common.errors import (
     ReproError,
     ResourceExhausted,
 )
+from repro.common.io import atomic_write_text
 from repro.common.tables import render_kv, render_table
 from repro.experiments.harness import HarnessConfig, make_context
 from repro.host.runtime import RUNNER_VARIANTS, FastRunResult
 from repro.ldbc.datasets import DATASET_SCALES, MICRO_SCALES, load_dataset
 from repro.ldbc.queries import QUERY_NAMES, get_query
 from repro.runtime.registry import REGISTRY, RunOutcome
+from repro.runtime.tracing import (
+    metrics_to_prometheus,
+    summarize_trace,
+    validate_chrome_trace,
+)
 
 _ALL_DATASETS = sorted({**DATASET_SCALES, **MICRO_SCALES})
 
@@ -93,6 +107,16 @@ def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
                              "scheduling away from flaky devices")
 
 
+def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="export the run as Chrome trace-event "
+                             "JSON at PATH (load in Perfetto or "
+                             "chrome://tracing; docs/observability.md)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the run's metrics as Prometheus "
+                             "text exposition at PATH")
+
+
 def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
     return HarnessConfig(
         fault_seed=args.fault_seed,
@@ -102,6 +126,7 @@ def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
         journal_path=getattr(args, "journal", None),
         resume_path=getattr(args, "resume", None),
         health_ledger_path=getattr(args, "health_ledger", None),
+        trace=getattr(args, "trace", None) is not None,
         **kwargs,
     )
 
@@ -129,6 +154,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(match)
     _add_executor_flags(match)
     _add_journal_flags(match)
+    _add_trace_flags(match)
 
     compare = sub.add_parser("compare",
                              help="registered backends on one query")
@@ -148,6 +174,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("backends",
                    help="list registered backends and capabilities")
+
+    summary = sub.add_parser(
+        "trace-summary",
+        help="slowest spans of a recorded trace, per lane",
+    )
+    summary.add_argument("trace_file", metavar="TRACE.json",
+                         help="Chrome trace-event JSON written by "
+                              "`repro match --trace`")
+    summary.add_argument("--top", type=int, default=5, metavar="N",
+                         help="spans shown per lane (default: 5)")
     return parser
 
 
@@ -251,6 +287,17 @@ def cmd_match(args: argparse.Namespace) -> int:
     finally:
         if ctx is not None and ctx.journal is not None:
             ctx.journal.close()
+    if args.trace is not None:
+        ctx.tracer.write_chrome_trace(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics_out is not None:
+        atomic_write_text(
+            args.metrics_out,
+            metrics_to_prometheus(
+                ctx.current_metrics.to_payload(), ctx.tracer.counters
+            ),
+        )
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
     rows = (
         _fast_rows(out.raw) if isinstance(out.raw, FastRunResult)
         else _outcome_rows(out)
@@ -339,6 +386,32 @@ def cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_summary(args: argparse.Namespace) -> int:
+    path = Path(args.trace_file)
+    if not path.exists():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(path.read_text())
+    except ValueError as exc:
+        print(f"error: {path} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    errors = validate_chrome_trace(payload)
+    if errors:
+        print(f"error: {path} is not a valid trace: {errors[0]}",
+              file=sys.stderr)
+        return 2
+    rows = summarize_trace(payload, top=args.top)
+    if not rows:
+        print("trace contains no spans", file=sys.stderr)
+        return 0
+    print(render_table(
+        ["clock", "lane", "span", "start_ms", "duration_ms"], rows,
+        title=f"top {args.top} spans per lane of {path.name}",
+    ))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -346,6 +419,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "info": cmd_info,
         "backends": cmd_backends,
+        "trace-summary": cmd_trace_summary,
     }[args.command]
     return handler(args)
 

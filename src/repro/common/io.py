@@ -26,16 +26,14 @@ from pathlib import Path
 from typing import Any
 
 
-def atomic_write_json(path: str | Path, payload: Any, *,
-                      indent: int | None = 2) -> None:
-    """Atomically replace ``path`` with ``payload`` serialized as JSON.
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Atomically replace ``path`` with ``text``.
 
     The temporary file lives in the destination directory so the final
     ``os.replace`` stays within one filesystem (rename atomicity).
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    text = json.dumps(payload, indent=indent, sort_keys=True) + "\n"
     fd, tmp = tempfile.mkstemp(
         dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
     )
@@ -51,6 +49,14 @@ def atomic_write_json(path: str | Path, payload: Any, *,
         except OSError:
             pass
         raise
+
+
+def atomic_write_json(path: str | Path, payload: Any, *,
+                      indent: int | None = 2) -> None:
+    """Atomically replace ``path`` with ``payload`` serialized as JSON."""
+    atomic_write_text(
+        path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
+    )
 
 
 def fsync_append(fileno: int, record: dict[str, Any]) -> None:

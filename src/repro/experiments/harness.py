@@ -34,6 +34,7 @@ from repro.runtime.executor import ExecutorConfig
 from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.runtime.journal import DeviceHealthLedger, RunJournal
 from repro.runtime.registry import REGISTRY
+from repro.runtime.tracing import Tracer
 
 #: The paper's display names for the Section VII systems, resolvable
 #: by :func:`make_runner` (as is any registry name or alias).
@@ -80,6 +81,10 @@ class HarnessConfig:
     resume_path: str | None = None
     #: Persistent device-health ledger steering scheduling decisions.
     health_ledger_path: str | None = None
+    #: Enable the span tracer (off by default; see
+    #: docs/observability.md). Tracing changes no counts, modeled
+    #: seconds, or health bits — it only records the timeline.
+    trace: bool = False
 
 
 def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
@@ -164,7 +169,11 @@ def make_context(
     health_ledger = None
     if config.health_ledger_path is not None:
         health_ledger = DeviceHealthLedger.load(config.health_ledger_path)
+    tracer = Tracer(enabled=config.trace)
+    if journal is not None and config.trace:
+        journal.on_append = tracer.on_journal_append
     return RunContext(
+        tracer=tracer,
         fpga=config.fpga,
         cpu_cost=config.cpu_cost,
         limits=config.limits,

@@ -48,13 +48,18 @@ class FastEngine:
     """Simulates FAST over CSTs for one device configuration."""
 
     def __init__(self, config: FpgaConfig | None = None,
-                 variant: str = "sep") -> None:
+                 variant: str = "sep",
+                 trace_modules: bool = False) -> None:
         if variant not in VARIANTS:
             raise DeviceError(
                 f"unknown variant {variant!r}; choose from {VARIANTS}"
             )
         self.config = config or FpgaConfig()
         self.variant = variant
+        # When set, every report carries per-round module occupancy
+        # spans on the card's serial cycle clock (Fig. 5 lanes); off by
+        # default so the hot path allocates nothing extra.
+        self.trace_modules = trace_modules
 
     # ------------------------------------------------------------------
 
@@ -80,11 +85,20 @@ class FastEngine:
         report.num_csts = 1
         if collect_results:
             report.results = []
+        trace = self.trace_modules
+        cursor = 0.0
+        if trace:
+            report.module_spans = []
         if cst.is_empty():
             return report
 
         if self.variant != "dram":
             report.load_cycles += cfg.load_cycles(cst.size_bytes())
+            if trace and report.load_cycles:
+                report.module_spans.append(
+                    ("load", 0.0, float(report.load_cycles))
+                )
+                cursor = float(report.load_cycles)
 
         n_steps = plan.num_steps
         buffers = [
@@ -115,6 +129,7 @@ class FastEngine:
             bn = edge_validate(cst, plan, batch)
             pos, ids = synchronize(batch, bv, bn)
 
+            flush_before = report.flush_cycles
             depth = batch.step + 1
             if depth == n_steps:
                 report.embeddings += len(pos)
@@ -132,10 +147,34 @@ class FastEngine:
             report.total_partials += batch.n_new
             report.total_edge_tasks += batch.n_tasks
             report.total_pops += batch.n_consumed
-            report.compute_cycles += self._round_cycles(
-                batch.n_consumed, batch.n_new, batch.n_tasks,
-                plan.tasks_per_partial(batch.step),
-            )
+            checks = plan.tasks_per_partial(batch.step)
+            if trace:
+                stages = self._stage_cycles(
+                    batch.n_consumed, batch.n_new, batch.n_tasks, checks
+                )
+                round_cycles = self._CYCLE_MODELS[self.variant](
+                    self, stages, batch.n_consumed, batch.n_new,
+                    batch.n_tasks,
+                )
+                for lane, rel_start, rel_end in self._module_offsets(
+                    stages, batch.n_consumed, batch.n_new, batch.n_tasks
+                ):
+                    if rel_end > rel_start:
+                        report.module_spans.append(
+                            (lane, cursor + rel_start, cursor + rel_end)
+                        )
+                cursor += round_cycles
+                flush_delta = report.flush_cycles - flush_before
+                if flush_delta:
+                    report.module_spans.append(
+                        ("flush", cursor, cursor + flush_delta)
+                    )
+                    cursor += flush_delta
+            else:
+                round_cycles = self._round_cycles(
+                    batch.n_consumed, batch.n_new, batch.n_tasks, checks
+                )
+            report.compute_cycles += round_cycles
 
         report.buffer_peaks = {
             d: buffers[d].peak for d in range(1, n_steps)
@@ -248,6 +287,60 @@ class FastEngine:
         "task": _cycles_task,
         "sep": _cycles_sep,
     }
+
+    def _module_offsets(
+        self, s: dict[str, int], n_pop: int, n_new: int, n_tasks: int
+    ) -> list[tuple[str, float, float]]:
+        """Round-relative module occupancy ``(lane, start, end)`` spans.
+
+        The spans *are* the variant's Fig. 5 dataflow: for each lane
+        they start/end exactly where the matching ``_cycles_*``
+        composition places the module, so the latest ``end`` equals the
+        round's charged cycles (the invariant tests depend on this).
+        Serial variants chain the five modules; ``task`` overlaps them
+        in two phases (Equation 3); ``sep`` starts every module at
+        cycle 0 (Equation 4).
+        """
+        gen = chained(s["read"], s["gen"])
+        if self.variant == "sep":
+            return [
+                ("generator_tv", 0.0, float(gen)),
+                ("visited_validator", 0.0, float(s["visited"])),
+                ("generator_tn", 0.0, float(s["tn_gen"])),
+                ("edge_validator", 0.0, float(s["tn_val"])),
+                ("synchronizer", 0.0, float(s["collect"])),
+            ]
+        if self.variant == "task":
+            phase_a = float(overlapped(gen, s["visited"]))
+            return [
+                ("generator_tv", 0.0, float(gen)),
+                ("visited_validator", 0.0, float(s["visited"])),
+                ("generator_tn", phase_a, phase_a + s["tn_gen"]),
+                ("edge_validator", phase_a, phase_a + s["tn_val"]),
+                ("synchronizer", phase_a, phase_a + s["collect"]),
+            ]
+        # Serial chain shared by ``basic`` and ``dram``, in the exact
+        # order ``_cycles_basic`` chains the modules.
+        spans = []
+        cursor = 0.0
+        for lane, width in (
+            ("generator_tv", gen),
+            ("visited_validator", s["visited"]),
+            ("synchronizer", s["collect"]),
+            ("generator_tn", s["tn_gen"]),
+            ("edge_validator", s["tn_val"]),
+        ):
+            spans.append((lane, cursor, cursor + width))
+            cursor += width
+        if self.variant == "dram":
+            cfg = self.config
+            gap = (cfg.dram_latency - cfg.bram_latency) * (
+                n_pop
+                + cfg.dram_reads_per_partial * n_new
+                + cfg.dram_reads_per_task * n_tasks
+            )
+            spans.append(("load", cursor, cursor + gap))
+        return spans
 
 
 def _to_query_indexed(

@@ -28,6 +28,12 @@ class KernelReport:
     num_csts: int = 0
     buffer_peaks: dict[int, int] = field(default_factory=dict)
     results: list[tuple[int, ...]] | None = None
+    #: Optional per-module occupancy spans ``(lane, start_cycle,
+    #: end_cycle)`` on the card's serial cycle clock, recorded only when
+    #: the engine runs with ``trace_modules=True`` (see
+    #: docs/observability.md). ``None`` when tracing is off, so the
+    #: default path allocates nothing.
+    module_spans: list[tuple[str, float, float]] | None = None
 
     @property
     def total_cycles(self) -> float:
@@ -45,6 +51,17 @@ class KernelReport:
             raise ValueError(
                 f"cannot merge report of variant {other.variant!r} into "
                 f"{self.variant!r}"
+            )
+        if other.module_spans is not None:
+            # Shift onto this report's cycle clock *before* the cycle
+            # counters accumulate: merged reports read as one card
+            # executing the launches back to back.
+            offset = self.total_cycles
+            if self.module_spans is None:
+                self.module_spans = []
+            self.module_spans.extend(
+                (lane, start + offset, end + offset)
+                for lane, start, end in other.module_spans
             )
         self.compute_cycles += other.compute_cycles
         self.load_cycles += other.load_cycles

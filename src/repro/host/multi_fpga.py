@@ -35,7 +35,7 @@ from repro.host.pcie import PcieLink
 from repro.host.runtime import _ledger_scaled_limits
 from repro.query.query_graph import QueryGraph
 from repro.runtime.context import RunContext, RunMetrics
-from repro.runtime.executor import PartitionExecutor, Task, overlap_timeline
+from repro.runtime.executor import PartitionExecutor, Task, overlap_schedule
 from repro.runtime.faults import DEVICE_DEAD, FaultEvent
 from repro.runtime.journal import (
     report_from_dict,
@@ -47,6 +47,7 @@ from repro.runtime.stages import (
     cached_partition_list,
     plan_stage,
 )
+from repro.runtime.tracing import MODELED, trace_device_lanes
 
 
 def _run_device(
@@ -55,6 +56,7 @@ def _run_device(
     parts: list[CST],
     match_plan: MatchPlan,
     result_vertices: int,
+    trace_modules: bool = False,
 ) -> tuple[KernelReport, float, list[tuple[float, float]], float]:
     """One device's whole queue: transfers, kernels, result fetch.
 
@@ -62,9 +64,9 @@ def _run_device(
     under a process pool. Returns ``(merged_kernel, pcie_seconds,
     segments, fetch_seconds)`` where ``segments`` holds one
     ``(write, kernel)`` pair per partition for the device's own
-    double-buffered :func:`overlap_timeline`.
+    double-buffered overlap timeline.
     """
-    engine = FastEngine(cfg, variant)
+    engine = FastEngine(cfg, variant, trace_modules=trace_modules)
     link = PcieLink(cfg)
     kernel: KernelReport | None = None
     segments: list[tuple[float, float]] = []
@@ -318,7 +320,7 @@ class MultiFpgaRunner:
             tasks: list[Task] = [
                 (_run_device,
                  (ctx.fpga, self.variant, assignment[d.index],
-                  plan.match_plan, q.num_vertices))
+                  plan.match_plan, q.num_vertices, ctx.tracer.enabled))
                 for d in pending
             ]
 
@@ -338,20 +340,46 @@ class MultiFpgaRunner:
 
             pool.run(tasks, on_result=on_device_done)
 
+            tracer = ctx.tracer
             device_seconds: list[float] = []
+            device_timelines: dict[str, float] = {}
             for device in active:
                 kernel, pcie, segments, fetch = done[device.index]
                 device.kernel = kernel
                 device.pcie_seconds = pcie
+                # Each device's own double-buffered card schedule; the
+                # trace draws it one lane group per device, and the
+                # payload surfaces its completion time.
+                schedule = overlap_schedule(segments, exec_cfg.buffers)
+                timeline = schedule[-1][3] if schedule else 0.0
+                device_timelines[str(device.index)] = timeline
                 if exec_cfg.buffers <= 1:
                     device_seconds.append(device.seconds)
                 else:
                     # Each card overlaps its own transfers with its own
                     # kernels; only the result fetch stays serial.
-                    device_seconds.append(
-                        overlap_timeline(segments, exec_cfg.buffers)
-                        + fetch
+                    device_seconds.append(timeline + fetch)
+                if tracer.enabled:
+                    # Emitted here, in device-index order after the
+                    # pool barrier — never from worker threads — so
+                    # modeled lanes stay deterministic at any workers.
+                    trace_device_lanes(
+                        tracer, device.index, schedule,
+                        kernel.module_spans, ctx.fpga.clock_mhz,
                     )
+                    if fetch:
+                        tracer.span(
+                            f"device{device.index}/pcie", "fetch results",
+                            timeline, fetch, clock=MODELED,
+                        )
+            if tracer.enabled:
+                for idx in sorted(dead):
+                    tracer.instant(
+                        "faults", "device_dead:failover", 0.0,
+                        clock=MODELED, device=idx,
+                    )
+                if resumed_devices:
+                    tracer.count("journal_replays", resumed_devices)
             makespan = max(device_seconds, default=0.0)
             st.modeled_seconds += makespan
             st.note(
@@ -360,6 +388,7 @@ class MultiFpgaRunner:
                 dead_devices=tuple(sorted(dead)),
                 workers=exec_cfg.workers,
                 buffers=exec_cfg.buffers,
+                overlap_timeline=device_timelines,
             )
             if journal is not None:
                 st.note(

@@ -29,6 +29,7 @@ from repro.graph.graph import Graph
 from repro.runtime.executor import ExecutorConfig
 from repro.runtime.faults import FaultPlan, HealthReport, RetryPolicy
 from repro.runtime.journal import DeviceHealthLedger, RunJournal
+from repro.runtime.tracing import MODELED, WALL, Tracer
 
 #: Canonical stage order of the pipeline (documented in docs/runtime.md).
 STAGES = ("plan", "build_cst", "partition", "schedule", "execute", "merge")
@@ -99,6 +100,18 @@ class RunMetrics:
                 "modeled_seconds": self.modeled_seconds,
             },
         }
+
+    def to_payload(self) -> dict[str, Any]:
+        """The exporter-facing metrics payload.
+
+        Identical to :meth:`to_dict`; the name marks the schema the
+        trace invariants (:func:`repro.runtime.tracing.
+        check_trace_invariants`) and the Prometheus exposition are
+        written against. The execute stage notes its ``overlap_*``
+        facts into the stage buckets, so a plain ``match`` run and a
+        ``--trace`` run read the same numbers from the same payload.
+        """
+        return self.to_dict()
 
 
 @dataclass
@@ -228,6 +241,10 @@ class RunContext:
     #: effective delta_S for degraded ones, and ``finish_run`` folds
     #: each run's health report back in (persisting if path-backed).
     health_ledger: DeviceHealthLedger | None = None
+    #: Span tracer (disabled by default); when enabled, every stage,
+    #: partition, device queue, kernel module, fault, and journal
+    #: append lands on a trace lane. See docs/observability.md.
+    tracer: Tracer = field(default_factory=Tracer)
     cache: StageCache = field(default_factory=StageCache)
     metrics: RunMetrics | None = None
     history: list[RunMetrics] = field(default_factory=list)
@@ -265,8 +282,23 @@ class RunContext:
 
     @contextmanager
     def stage(self, name: str) -> Iterator[StageMetrics]:
-        """Time a stage; wall time accumulates into its bucket."""
+        """Time a stage; wall time accumulates into its bucket.
+
+        With tracing enabled, each entry also lands one span per clock
+        on the ``stages`` lane. Span starts are the run's cumulative
+        seconds at entry and durations are the *bucket deltas* across
+        the block, so per-stage span sums telescope exactly to the
+        bucket totals — the invariant
+        :func:`repro.runtime.tracing.check_trace_invariants` enforces.
+        """
         st = self.current_metrics.stage(name)
+        tracing = self.tracer.enabled
+        if tracing:
+            metrics = self.current_metrics
+            wall_total0 = metrics.wall_seconds
+            modeled_total0 = metrics.modeled_seconds
+            wall_bucket0 = st.wall_seconds
+            modeled_bucket0 = st.modeled_seconds
         t0 = time.perf_counter()
         try:
             yield st
@@ -274,6 +306,15 @@ class RunContext:
             # max() guards against timers too coarse to see tiny stages;
             # every recorded stage reports a nonzero wall time.
             st.wall_seconds += max(time.perf_counter() - t0, 1e-9)
+            if tracing:
+                self.tracer.span(
+                    "stages", name, wall_total0,
+                    st.wall_seconds - wall_bucket0, clock=WALL,
+                )
+                self.tracer.span(
+                    "stages", name, modeled_total0,
+                    st.modeled_seconds - modeled_bucket0, clock=MODELED,
+                )
 
     def host_seconds(self, ops: int, data: Graph) -> float:
         """Modeled host time for ``ops`` index operations on ``data``."""

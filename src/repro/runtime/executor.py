@@ -87,6 +87,34 @@ class ExecutorConfig:
             )
 
 
+def overlap_schedule(
+    segments: Sequence[tuple[float, float]], buffers: int = 2
+) -> list[tuple[float, float, float, float]]:
+    """Per-launch schedule of the double-buffered partition pipeline.
+
+    Returns one ``(transfer_start, transfer_end, kernel_start,
+    kernel_end)`` tuple per segment, in launch order, computed with the
+    exact recurrence :func:`overlap_timeline` describes — the timeline
+    is simply the last tuple's ``kernel_end``. The tracer draws these
+    tuples as the ``pcie`` and ``kernel`` lanes of the modeled clock,
+    so the trace and the reported modeled seconds cannot disagree.
+    """
+    if buffers < 1:
+        raise DeviceError("buffers must be >= 1")
+    transfer_done = 0.0
+    kernel_done: list[float] = []
+    schedule: list[tuple[float, float, float, float]] = []
+    for i, (write_s, kernel_s) in enumerate(segments):
+        gate = kernel_done[i - buffers] if i >= buffers else 0.0
+        t_start = max(transfer_done, gate)
+        transfer_done = t_start + write_s
+        prev = kernel_done[i - 1] if i else 0.0
+        k_start = max(transfer_done, prev)
+        kernel_done.append(k_start + kernel_s)
+        schedule.append((t_start, transfer_done, k_start, kernel_done[-1]))
+    return schedule
+
+
 def overlap_timeline(
     segments: Sequence[tuple[float, float]], buffers: int = 2
 ) -> float:
@@ -101,16 +129,8 @@ def overlap_timeline(
     kernel *i - 1*, which reproduces the serial flat sum
     ``sum(w + k)`` of the original overlap rule exactly.
     """
-    if buffers < 1:
-        raise DeviceError("buffers must be >= 1")
-    transfer_done = 0.0
-    kernel_done: list[float] = []
-    for i, (write_s, kernel_s) in enumerate(segments):
-        gate = kernel_done[i - buffers] if i >= buffers else 0.0
-        transfer_done = max(transfer_done, gate) + write_s
-        prev = kernel_done[i - 1] if i else 0.0
-        kernel_done.append(max(transfer_done, prev) + kernel_s)
-    return kernel_done[-1] if kernel_done else 0.0
+    schedule = overlap_schedule(segments, buffers)
+    return schedule[-1][3] if schedule else 0.0
 
 
 @dataclass

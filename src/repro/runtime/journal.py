@@ -149,13 +149,22 @@ def report_to_dict(report: KernelReport) -> dict[str, Any]:
     }
     if report.results is not None:
         out["results"] = [list(r) for r in report.results]
+    if report.module_spans is not None:
+        out["module_spans"] = [
+            [lane, start, end] for lane, start, end in report.module_spans
+        ]
     return out
 
 
 def report_from_dict(payload: Mapping[str, Any]) -> KernelReport:
     """Inverse of :func:`report_to_dict` (bit-identical round trip)."""
     results = payload.get("results")
+    module_spans = payload.get("module_spans")
     return KernelReport(
+        module_spans=(
+            None if module_spans is None
+            else [(lane, start, end) for lane, start, end in module_spans]
+        ),
         variant=payload["variant"],
         clock_mhz=payload["clock_mhz"],
         compute_cycles=payload["compute_cycles"],
@@ -278,6 +287,11 @@ class RunJournal:
     def __init__(self, path: str | Path, resume: bool = False) -> None:
         self.path = Path(path)
         self.resume = resume
+        #: Optional observer called with each record *after* it is
+        #: durable (the tracer hooks this to count/stamp appends).
+        #: Observation only — raising from it cannot un-write the
+        #: record, and it runs on whichever thread appended.
+        self.on_append: Any = None
         self._fd: int | None = None
         self._lock = threading.Lock()
         self._header: dict[str, Any] | None = None
@@ -386,6 +400,8 @@ class RunJournal:
                 raise JournalError("journal header not written yet")
             fsync_append(self._fd, record)
             self._appended += 1
+            if self.on_append is not None:
+                self.on_append(record)
             crash_after = os.environ.get(CRASH_AFTER_ENV)
             if crash_after and self._appended >= int(crash_after):
                 os.kill(os.getpid(), signal.SIGKILL)

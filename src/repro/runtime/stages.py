@@ -65,7 +65,7 @@ from repro.runtime.executor import (
     PartitionExecutor,
     PartitionOutcome,
     Task,
-    overlap_timeline,
+    overlap_schedule,
 )
 from repro.runtime.faults import FAULT_ERRORS, FaultEvent
 from repro.runtime.journal import (
@@ -76,6 +76,7 @@ from repro.runtime.journal import (
     outcome_to_record,
     run_fingerprint,
 )
+from repro.runtime.tracing import MODELED, trace_device_lanes
 
 
 @dataclass(frozen=True)
@@ -440,6 +441,7 @@ def _run_fpga_partition(
     part: CST,
     match_plan: MatchPlan,
     collect_results: bool,
+    trace_modules: bool = False,
 ) -> KernelReport:
     """Fault-free kernel launch of one FPGA partition.
 
@@ -449,7 +451,7 @@ def _run_fpga_partition(
     a fresh instance is behaviorally identical to a shared one while
     keeping workers free of shared state.
     """
-    engine = FastEngine(cfg, variant)
+    engine = FastEngine(cfg, variant, trace_modules=trace_modules)
     return engine.run(part, collect_results=collect_results, plan=match_plan)
 
 
@@ -499,7 +501,8 @@ def _supervise_partition(
     """
     cfg = ctx.fpga
     policy = ctx.retry_policy
-    engine = FastEngine(cfg, engine_variant)
+    engine = FastEngine(cfg, engine_variant,
+                        trace_modules=ctx.tracer.enabled)
     link = PcieLink(cfg)
     journal = ctx.journal
     ladder_replay = (
@@ -714,7 +717,7 @@ def execute_stage(
             fpga_tasks = [
                 (_run_fpga_partition,
                  (cfg, engine_variant, work.fpga_parts[i], plan.match_plan,
-                  collect_results))
+                  collect_results, ctx.tracer.enabled))
                 for i in pending_fpga
             ]
         cpu_tasks: list[Task] = [
@@ -766,6 +769,7 @@ def execute_stage(
         host_overhead = 0.0
         backoff_wall = 0.0
         segments: list[tuple[float, float]] = []
+        first_segment: dict[int, int] = {}
         for i in range(n_fpga):
             out = outcomes[i]
             for report in out.reports:
@@ -774,6 +778,7 @@ def execute_stage(
             fault_overhead += out.overhead_seconds
             host_overhead += out.host_overhead_seconds
             backoff_wall += out.backoff_wall_seconds
+            first_segment[i] = len(segments)
             segments.extend(out.segments)
             for event in out.events:
                 health.record(event)
@@ -835,6 +840,8 @@ def execute_stage(
             kernel_total.embeddings * q.num_vertices * ENTRY_BYTES
         )
         pcie_seconds += fetch_seconds
+        schedule = overlap_schedule(segments, exec_cfg.buffers)
+        timeline = schedule[-1][3] if schedule else 0.0
         if exec_cfg.buffers <= 1:
             # The exact pre-pipeline arithmetic: a flat serial sum.
             fpga_seconds = (
@@ -843,14 +850,49 @@ def execute_stage(
         else:
             # Double-buffered card timeline; host-side re-partition
             # cost and the single result fetch cannot overlap kernels.
-            fpga_seconds = (
-                overlap_timeline(segments, exec_cfg.buffers)
-                + host_overhead + fetch_seconds
+            fpga_seconds = timeline + host_overhead + fetch_seconds
+
+        if ctx.tracer.enabled:
+            # All modeled lanes are emitted here, after the
+            # index-ordered merge, never from worker threads — the
+            # modeled half of a trace is deterministic at any
+            # ``workers`` (wall lanes are real time and are not).
+            tracer = ctx.tracer
+            trace_device_lanes(
+                tracer, 0, schedule, kernel_total.module_spans,
+                cfg.clock_mhz,
             )
+            if fetch_seconds:
+                tracer.span("device0/pcie", "fetch results", timeline,
+                            fetch_seconds, clock=MODELED)
+            if cpu_share_seconds:
+                tracer.span("host", "cpu share", 0.0,
+                            cpu_share_seconds, clock=MODELED)
+            if host_overhead:
+                tracer.span("host", "repartition", timeline,
+                            host_overhead, clock=MODELED)
+            if fallback_seconds:
+                tracer.span(
+                    "host", "cpu fallback",
+                    max(cpu_share_seconds, fpga_seconds),
+                    fallback_seconds, clock=MODELED,
+                )
+            for i in range(n_fpga):
+                seg = first_segment[i]
+                at = schedule[seg][0] if seg < len(schedule) else timeline
+                for event in outcomes[i].events:
+                    tracer.instant(
+                        "faults", f"{event.kind}:{event.action}", at,
+                        clock=MODELED, partition=i, attempt=event.attempt,
+                    )
+            if resumed:
+                tracer.count("journal_replays", resumed)
+
         st.modeled_seconds += (
             max(cpu_share_seconds, fpga_seconds) + fallback_seconds
         )
         st.note(
+            overlap_timeline=timeline,
             kernel_seconds=kernel_total.seconds,
             pcie_seconds=pcie_seconds,
             cpu_share_seconds=cpu_share_seconds,

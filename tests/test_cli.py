@@ -77,6 +77,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["match", "--query", "q99"])
 
+    def test_trace_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["match", "--trace", "out.json", "--metrics-out", "out.prom"]
+        )
+        assert args.trace == "out.json"
+        assert args.metrics_out == "out.prom"
+
+    def test_trace_flags_default_off(self):
+        args = build_parser().parse_args(["match"])
+        assert args.trace is None
+        assert args.metrics_out is None
+
+    def test_trace_summary_parsed(self):
+        args = build_parser().parse_args(
+            ["trace-summary", "out.json", "--top", "9"]
+        )
+        assert args.trace_file == "out.json"
+        assert args.top == 9
+
 
 class TestCommands:
     def test_match(self, capsys):
@@ -112,6 +131,79 @@ class TestCommands:
         count = next(line for line in clean_out.splitlines()
                      if "embeddings" in line)
         assert count in out
+
+
+class TestTraceArtifacts:
+    def test_match_writes_trace_and_metrics(self, capsys, tmp_path):
+        import json
+
+        from repro.runtime.tracing import (
+            validate_chrome_trace,
+            validate_prometheus_text,
+        )
+
+        trace = tmp_path / "run.trace.json"
+        prom = tmp_path / "run.prom"
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--variant", "sep", "--trace", str(trace),
+                   "--metrics-out", str(prom)])
+        err = capsys.readouterr().err
+        assert rc == 0
+        assert str(trace) in err and str(prom) in err
+        payload = json.loads(trace.read_text())
+        assert validate_chrome_trace(payload) == []
+        assert validate_prometheus_text(prom.read_text()) == []
+
+    def test_traced_match_counts_unchanged(self, capsys, tmp_path):
+        plain = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                      "--variant", "sep"])
+        plain_out = capsys.readouterr().out
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--variant", "sep", "--trace",
+                   str(tmp_path / "t.json")])
+        out = capsys.readouterr().out
+        assert plain == 0 and rc == 0
+        # Tracing is observation-only: identical result rows.
+        assert plain_out == out
+
+    def test_metrics_out_without_trace(self, tmp_path):
+        from repro.runtime.tracing import validate_prometheus_text
+
+        prom = tmp_path / "run.prom"
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--metrics-out", str(prom)])
+        assert rc == 0
+        assert validate_prometheus_text(prom.read_text()) == []
+
+    def test_trace_summary_happy_path(self, capsys, tmp_path):
+        trace = tmp_path / "run.trace.json"
+        main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+              "--variant", "sep", "--trace", str(trace)])
+        capsys.readouterr()
+        rc = main(["trace-summary", str(trace), "--top", "3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "duration_ms" in out
+        assert "stages" in out
+
+    def test_trace_summary_missing_file(self, capsys, tmp_path):
+        rc = main(["trace-summary", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_summary_invalid_json(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["trace-summary", str(bad)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_trace_summary_rejects_bad_schema(self, capsys, tmp_path):
+        bad = tmp_path / "bad.trace.json"
+        bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
+        rc = main(["trace-summary", str(bad)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
 
 
 class TestExitCodes:
