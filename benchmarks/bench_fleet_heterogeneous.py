@@ -1,0 +1,169 @@
+"""Heterogeneous-fleet benchmark: mixed catalog parts vs. a uniform pool.
+
+Runs the multi-FPGA backend twice on the same workload:
+
+``homogeneous``
+    three copies of the default ``sim-small`` part — the paper's
+    Section VII-E setting and the pre-catalog behavior.
+``heterogeneous``
+    ``u200,u280x2`` — one DDR4 card plus two HBM cards, exercising
+    capacity-aware placement (per-part clock/latency bids and SLR
+    crossing penalties; docs/devices.md).
+
+Everything gated here is *modeled* time, which is deterministic, so
+the committed ``BENCH_fleet.json`` baseline is machine-independent.
+
+Standalone usage (CI's devices job runs ``--check``)::
+
+    python benchmarks/bench_fleet_heterogeneous.py            # print JSON
+    python benchmarks/bench_fleet_heterogeneous.py --write    # refresh baseline
+    python benchmarks/bench_fleet_heterogeneous.py --check    # gate vs baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.common.io import atomic_write_json
+from repro.fpga.catalog import parse_fleet
+from repro.host.multi_fpga import MultiFpgaRunner
+from repro.ldbc.datasets import load_dataset
+from repro.ldbc.queries import get_query
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_fleet.json"
+
+#: Allowed drift of deterministic modeled times vs. the baseline.
+MODELED_TOLERANCE = 1e-9
+
+DATASET = "DG-MINI"
+QUERY = "q1"
+FLEET_SPEC = "u200,u280x2"
+
+
+def _measure_pool(fleet: str | None, data, query) -> dict:
+    if fleet is None:
+        runner = MultiFpgaRunner(num_devices=3)
+    else:
+        runner = MultiFpgaRunner(fleet=parse_fleet(fleet))
+    result = runner.run(query.graph, data)
+    return {
+        "fleet": fleet or "sim-small x3",
+        "parts": [d.part or "sim-small" for d in result.devices],
+        "embeddings": result.embeddings,
+        "num_partitions": result.num_partitions,
+        "csts_per_device": [d.num_csts for d in result.devices],
+        "makespan_seconds": result.makespan_seconds,
+        "total_seconds": result.total_seconds,
+        "load_imbalance": result.load_imbalance,
+    }
+
+
+def collect() -> dict:
+    data = load_dataset(DATASET).graph
+    query = get_query(QUERY)
+    pools = {
+        "homogeneous": _measure_pool(None, data, query),
+        "heterogeneous": _measure_pool(FLEET_SPEC, data, query),
+    }
+    counts = {p["embeddings"] for p in pools.values()}
+    if len(counts) != 1:
+        raise AssertionError(
+            f"embedding counts diverged across pools: {counts}"
+        )
+    return {
+        "dataset": DATASET,
+        "query": QUERY,
+        "fleet_spec": FLEET_SPEC,
+        "pools": pools,
+        "heterogeneous_makespan_ratio": (
+            pools["heterogeneous"]["makespan_seconds"]
+            / pools["homogeneous"]["makespan_seconds"]
+        ),
+    }
+
+
+def check(payload: dict, baseline: dict) -> list[str]:
+    """Gate failures of ``payload`` against the committed baseline."""
+    failures: list[str] = []
+    for pool, measured in payload["pools"].items():
+        pinned = baseline["pools"][pool]
+        if measured["embeddings"] != pinned["embeddings"]:
+            failures.append(
+                f"{pool}: embedding count changed: "
+                f"{measured['embeddings']} vs {pinned['embeddings']}"
+            )
+        drift = abs(
+            measured["makespan_seconds"] - pinned["makespan_seconds"]
+        )
+        if drift > MODELED_TOLERANCE * max(pinned["makespan_seconds"], 1.0):
+            failures.append(
+                f"{pool}: modeled makespan drifted: "
+                f"{measured['makespan_seconds']!r} vs baseline "
+                f"{pinned['makespan_seconds']!r}"
+            )
+        if sum(measured["csts_per_device"]) != measured["num_partitions"]:
+            failures.append(
+                f"{pool}: placement lost partitions: "
+                f"{measured['csts_per_device']} vs "
+                f"{measured['num_partitions']}"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="fail on any modeled drift or count change "
+                             "vs the committed baseline")
+    parser.add_argument("--write", action="store_true",
+                        help="refresh the committed baseline JSON")
+    args = parser.parse_args(argv)
+
+    payload = collect()
+    print(json.dumps(payload, indent=2))
+    if args.write:
+        atomic_write_json(BASELINE_PATH, payload)
+        print(f"wrote {BASELINE_PATH}", file=sys.stderr)
+    if args.check:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failures = check(payload, baseline)
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"OK: heterogeneous makespan ratio "
+            f"{payload['heterogeneous_makespan_ratio']:.3f}, counts "
+            f"{payload['pools']['homogeneous']['embeddings']}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry (collected by `pytest benchmarks/`)
+# ----------------------------------------------------------------------
+
+
+def test_fleet_pools_agree(benchmark):
+    from conftest import run_once
+
+    payload = run_once(benchmark, collect)
+    pools = payload["pools"]
+    assert pools["homogeneous"]["embeddings"] == (
+        pools["heterogeneous"]["embeddings"]
+    )
+    for pool in pools.values():
+        assert sum(pool["csts_per_device"]) == pool["num_partitions"]
+        assert pool["makespan_seconds"] > 0
+    print(
+        f"\nheterogeneous/homogeneous makespan ratio: "
+        f"{payload['heterogeneous_makespan_ratio']:.3f}"
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

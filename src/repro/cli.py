@@ -1,18 +1,27 @@
 """Command-line interface.
 
-Five subcommands mirror the common workflows::
+Six subcommands mirror the common workflows::
 
     python -m repro match    --dataset DG-MINI --query q1 [--backend fast-share]
     python -m repro compare  --dataset DG-MINI --query q2 [--algorithms ...]
     python -m repro info     --dataset DG01
     python -m repro backends
+    python -m repro devices
     python -m repro trace-summary out.trace.json
 
 ``match`` runs any registered backend on one query (``--variant`` is a
 shorthand for the five FAST variants), ``compare`` pits any set of
 registered backends against each other, ``info`` prints Table III-style
-dataset statistics, and ``backends`` lists every registered backend
-with its declared capabilities.
+dataset statistics, ``backends`` lists every registered backend with
+its declared capabilities, and ``devices`` lists the FPGA device
+catalog (docs/devices.md).
+
+``match`` and ``compare`` take ``--device`` (load the FPGA config from
+a catalog part instead of the simulator default) and ``--split-policy``
+(how Algorithm 2 picks split vertices); ``match`` additionally takes
+``--fleet`` (a heterogeneous multi-FPGA pool such as ``u200,u280x2``
+for ``--backend multi-fpga``). Unknown parts or malformed catalog
+files exit with the usage code 2.
 
 ``match`` and ``compare`` accept ``--fault-seed`` / ``--max-retries``
 to run under an injected-fault schedule (docs/robustness.md), and
@@ -42,6 +51,7 @@ from pathlib import Path
 
 from repro.common.errors import (
     BackendError,
+    DeviceError,
     JournalMismatchError,
     ReproError,
     ResourceExhausted,
@@ -49,6 +59,7 @@ from repro.common.errors import (
 from repro.common.io import atomic_write_text
 from repro.common.tables import render_kv, render_table
 from repro.experiments.harness import HarnessConfig, make_context
+from repro.fpga.catalog import load_catalog
 from repro.host.runtime import RUNNER_VARIANTS, FastRunResult
 from repro.ldbc.datasets import DATASET_SCALES, MICRO_SCALES, load_dataset
 from repro.ldbc.queries import QUERY_NAMES, get_query
@@ -107,6 +118,25 @@ def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
                              "scheduling away from flaky devices")
 
 
+def _add_device_flags(
+    parser: argparse.ArgumentParser, fleet: bool = False
+) -> None:
+    parser.add_argument("--device", default=None, metavar="PART",
+                        help="catalog part to load the FPGA config "
+                             "from, e.g. u250 (see `repro devices`; "
+                             "default: the sim-small simulator part)")
+    if fleet:
+        parser.add_argument("--fleet", default=None, metavar="SPEC",
+                            help="heterogeneous multi-FPGA pool for "
+                                 "--backend multi-fpga, e.g. "
+                                 "u200,u280x2 (docs/devices.md)")
+    parser.add_argument("--split-policy", default="order",
+                        choices=("order", "degree"),
+                        help="split-vertex choice of Algorithm 2: "
+                             "matching order position (paper) or "
+                             "highest degree first (default: order)")
+
+
 def _add_trace_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--trace", default=None, metavar="PATH",
                         help="export the run as Chrome trace-event "
@@ -127,6 +157,9 @@ def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
         resume_path=getattr(args, "resume", None),
         health_ledger_path=getattr(args, "health_ledger", None),
         trace=getattr(args, "trace", None) is not None,
+        device=getattr(args, "device", None),
+        fleet=getattr(args, "fleet", None),
+        split_policy=getattr(args, "split_policy", "order"),
         **kwargs,
     )
 
@@ -155,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(match)
     _add_journal_flags(match)
     _add_trace_flags(match)
+    _add_device_flags(match, fleet=True)
 
     compare = sub.add_parser("compare",
                              help="registered backends on one query")
@@ -168,12 +202,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="registered backend names or aliases")
     _add_fault_flags(compare)
     _add_executor_flags(compare)
+    _add_device_flags(compare)
 
     info = sub.add_parser("info", help="dataset statistics (Table III)")
     info.add_argument("--dataset", default="DG01", choices=_ALL_DATASETS)
 
     sub.add_parser("backends",
                    help="list registered backends and capabilities")
+
+    sub.add_parser("devices",
+                   help="list the FPGA device catalog (docs/devices.md)")
 
     summary = sub.add_parser(
         "trace-summary",
@@ -269,9 +307,17 @@ def cmd_match(args: argparse.Namespace) -> int:
         return 2
     dataset = load_dataset(args.dataset)
     query = get_query(args.query)
-    ctx = None
     try:
+        # Catalog problems (unknown part, malformed device JSON,
+        # bad fleet spec) are usage errors, not runtime failures.
         ctx = make_context(_harness_config(args, delta=args.delta))
+    except DeviceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"{spec.name}: fatal: {exc}", file=sys.stderr)
+        return EXIT_FATAL
+    try:
         out = spec.run(ctx, query.graph, dataset.graph)
     except JournalMismatchError as exc:
         # The journal was recorded for a different run (query, dataset,
@@ -285,7 +331,7 @@ def cmd_match(args: argparse.Namespace) -> int:
         print(f"{spec.name}: fatal: {exc}", file=sys.stderr)
         return EXIT_FATAL
     finally:
-        if ctx is not None and ctx.journal is not None:
+        if ctx.journal is not None:
             ctx.journal.close()
     if args.trace is not None:
         ctx.tracer.write_chrome_trace(args.trace)
@@ -316,7 +362,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
     except BackendError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    ctx = make_context(_harness_config(args))
+    try:
+        ctx = make_context(_harness_config(args))
+    except DeviceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"fatal: {exc}", file=sys.stderr)
+        return EXIT_FATAL
     dataset = load_dataset(args.dataset)
     query = get_query(args.query)
     rows = []
@@ -386,6 +439,35 @@ def cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_devices(args: argparse.Namespace) -> int:
+    try:
+        catalog = load_catalog()
+    except DeviceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = []
+    for name in catalog.names():
+        info = catalog.get(name).summary()
+        rows.append([
+            info["part"],
+            info["display_name"],
+            info["family"],
+            info["memory"],
+            info["pcie"],
+            info["clock_mhz"],
+            info["bram_kib"],
+            info["slrs"],
+            info["max_ports"],
+        ])
+    print(render_table(
+        ["part", "name", "family", "memory", "pcie", "clock_mhz",
+         "bram_kib", "slrs", "ports"],
+        rows,
+        title=f"{len(rows)} catalogued devices",
+    ))
+    return 0
+
+
 def cmd_trace_summary(args: argparse.Namespace) -> int:
     path = Path(args.trace_file)
     if not path.exists():
@@ -419,6 +501,7 @@ def main(argv: list[str] | None = None) -> int:
         "compare": cmd_compare,
         "info": cmd_info,
         "backends": cmd_backends,
+        "devices": cmd_devices,
         "trace-summary": cmd_trace_summary,
     }[args.command]
     return handler(args)

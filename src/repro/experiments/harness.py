@@ -24,6 +24,7 @@ from repro.common.errors import BackendError, ExperimentError
 from repro.common.tables import render_table
 from repro.costs.cpu import CpuCostModel
 from repro.costs.resources import ResourceLimits
+from repro.fpga.catalog import get_device, load_catalog, parse_fleet
 from repro.fpga.config import FpgaConfig
 from repro.graph.graph import Graph
 from repro.ldbc.datasets import load_dataset
@@ -85,6 +86,15 @@ class HarnessConfig:
     #: docs/observability.md). Tracing changes no counts, modeled
     #: seconds, or health bits — it only records the timeline.
     trace: bool = False
+    #: Catalog part name the FPGA config is loaded from (overrides
+    #: ``fpga``; see docs/devices.md). ``None`` keeps ``fpga`` as-is.
+    device: str | None = None
+    #: Heterogeneous fleet spec for the multi-fpga backend, e.g.
+    #: ``"u200,u280x2"``. ``None`` keeps the homogeneous pool.
+    fleet: str | None = None
+    #: How Algorithm 2 picks the split vertex inside an oversized
+    #: candidate set: ``"order"`` (paper) or ``"degree"``.
+    split_policy: str = "order"
 
 
 def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
@@ -172,9 +182,21 @@ def make_context(
     tracer = Tracer(enabled=config.trace)
     if journal is not None and config.trace:
         journal.on_append = tracer.on_journal_append
+    catalog = None
+    device = None
+    fleet = None
+    if config.device is not None or config.fleet is not None:
+        catalog = load_catalog()
+    if config.device is not None:
+        device = get_device(config.device, catalog)
+    if config.fleet is not None:
+        fleet = parse_fleet(config.fleet, catalog)
     return RunContext(
         tracer=tracer,
-        fpga=config.fpga,
+        fpga=device.config if device is not None else config.fpga,
+        device=device,
+        fleet=fleet,
+        split_policy=config.split_policy,
         cpu_cost=config.cpu_cost,
         limits=config.limits,
         delta=config.delta,

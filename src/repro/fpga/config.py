@@ -1,10 +1,19 @@
 """Simulated FPGA device configuration.
 
-The paper targets a Xilinx Alveo U200 (300 MHz kernel clock, 35 MB
-BRAM, 64 GB on-card DRAM, PCIe gen3 x16). Our data graphs are ~1/1000
-of the paper's, so the default BRAM budget is scaled accordingly; all
-other timing parameters (latency ratios, pipeline depths) keep the
-paper's proportions, which is what the reproduced *ratios* depend on.
+:class:`FpgaConfig` is a *value*: every field of the class defaults to
+the device catalog's ``sim-small`` part
+(``src/repro/fpga/devices/sim-small.json``), so ``FpgaConfig()`` and
+``get_device("sim-small").config`` are provably identical (a test pins
+this). The catalog (:mod:`repro.fpga.catalog`) is the authoritative
+source of per-part parameters — U200/U250/U280/U50 entries scaled to
+our dataset sizes — and loads each part file into one of these values.
+
+``sim-small`` itself descends from the paper's target, a Xilinx Alveo
+U200 (300 MHz kernel clock, 35 MB BRAM, 64 GB on-card DRAM, PCIe gen3
+x16). Our data graphs are ~1/1000 of the paper's, so the BRAM budget
+is scaled accordingly; all other timing parameters (latency ratios,
+pipeline depths) keep the paper's proportions, which is what the
+reproduced *ratios* depend on.
 """
 
 from __future__ import annotations
@@ -23,11 +32,25 @@ SLOT_ENTRY_BYTES = 4
 class FpgaConfig:
     """Parameters of the simulated device and kernel.
 
+    The field defaults *are* the catalog's ``sim-small`` part; other
+    parts come from :func:`repro.fpga.catalog.get_device`.
+
     Pipeline depths ``l1``..``l6`` are the average cycle counts of the
     six procedures of Section VI-B: (1) read from the intermediate
     buffer, (2) expand a partial result and emit its visited task,
     (3) visited validation, (4) collection, (5) edge-task generation,
     (6) edge validation.
+
+    SLR geometry: real UltraScale+ parts spread BRAM over 2-4 super
+    logic regions, and a kernel whose working set spans SLRs pays
+    extra latency on every cross-SLR access. ``slr_count`` /
+    ``slr_bram_bytes`` describe the split (an empty tuple means an
+    even split of ``bram_bytes``, normalised at construction);
+    ``slr_crossing_penalty_cycles`` is the modeled per-operation cost
+    charged in proportion to the CST fraction resident off the primary
+    SLR (see docs/devices.md). The single-SLR default makes the
+    penalty identically zero, so default-device numbers are
+    bit-identical to the pre-catalog model.
     """
 
     clock_mhz: float = 300.0
@@ -58,6 +81,14 @@ class FpgaConfig:
     #: one probe per edge check.
     dram_reads_per_partial: int = 2
     dram_reads_per_task: int = 1
+    #: Number of super logic regions the BRAM budget is spread over.
+    slr_count: int = 1
+    #: Per-SLR BRAM capacities; ``()`` normalises to an even split of
+    #: ``bram_bytes`` across ``slr_count`` regions.
+    slr_bram_bytes: tuple[int, ...] = ()
+    #: Modeled cycles charged per kernel operation (partial or edge
+    #: task) scaled by the CST fraction outside the primary SLR.
+    slr_crossing_penalty_cycles: float = 0.0
 
     def __post_init__(self) -> None:
         if self.clock_mhz <= 0:
@@ -70,6 +101,35 @@ class FpgaConfig:
             raise DeviceError("max_ports must be >= 1")
         if min(self.l1, self.l2, self.l3, self.l4, self.l5, self.l6) < 1:
             raise DeviceError("pipeline depths must be >= 1")
+        if self.slr_count < 1:
+            raise DeviceError("slr_count must be >= 1")
+        if self.slr_crossing_penalty_cycles < 0:
+            raise DeviceError(
+                "slr_crossing_penalty_cycles cannot be negative"
+            )
+        if not self.slr_bram_bytes:
+            # Even split with the remainder on the first SLR, so the
+            # capacities always sum back to bram_bytes exactly.
+            base = self.bram_bytes // self.slr_count
+            split = [base] * self.slr_count
+            split[0] += self.bram_bytes - base * self.slr_count
+            object.__setattr__(self, "slr_bram_bytes", tuple(split))
+        else:
+            object.__setattr__(
+                self, "slr_bram_bytes", tuple(self.slr_bram_bytes)
+            )
+        if len(self.slr_bram_bytes) != self.slr_count:
+            raise DeviceError(
+                f"slr_bram_bytes has {len(self.slr_bram_bytes)} entries "
+                f"for slr_count={self.slr_count}"
+            )
+        if any(b <= 0 for b in self.slr_bram_bytes):
+            raise DeviceError("every SLR must have positive BRAM")
+        if sum(self.slr_bram_bytes) != self.bram_bytes:
+            raise DeviceError(
+                f"slr_bram_bytes sums to {sum(self.slr_bram_bytes)} but "
+                f"bram_bytes is {self.bram_bytes}"
+            )
 
     # ------------------------------------------------------------------
 
@@ -129,3 +189,37 @@ class FpgaConfig:
     def pcie_seconds(self, num_bytes: int) -> float:
         """Host->card transfer time over PCIe."""
         return num_bytes / (self.pcie_gbytes_per_sec * 1e9)
+
+    # -- SLR footprint model -------------------------------------------
+
+    def slr_spans(self, num_bytes: int) -> int:
+        """How many SLRs a ``num_bytes`` CST occupies.
+
+        The model places the CST greedily into the largest regions
+        first (the placement a floorplanner would prefer); a result
+        above 1 means cross-SLR routing. Zero-sized CSTs occupy no
+        region.
+        """
+        if num_bytes <= 0:
+            return 0
+        remaining = num_bytes
+        spans = 0
+        for capacity in sorted(self.slr_bram_bytes, reverse=True):
+            spans += 1
+            remaining -= capacity
+            if remaining <= 0:
+                return spans
+        return self.slr_count
+
+    def slr_remote_fraction(self, num_bytes: int) -> float:
+        """Fraction of a CST resident outside its primary SLR.
+
+        Zero whenever the CST fits the largest region — the crossing
+        penalty multiplies this, so single-SLR placements never pay it.
+        """
+        if num_bytes <= 0:
+            return 0.0
+        largest = max(self.slr_bram_bytes)
+        if num_bytes <= largest:
+            return 0.0
+        return min(1.0, 1.0 - largest / num_bytes)

@@ -179,6 +179,22 @@ class FastEngine:
         report.buffer_peaks = {
             d: buffers[d].peak for d in range(1, n_steps)
         }
+        if cfg.slr_count > 1 and cfg.slr_crossing_penalty_cycles > 0:
+            # A CST spilling past its primary SLR pays the crossing
+            # penalty on the remote share of every kernel operation
+            # (partials and edge tasks both probe the CST). Zero
+            # whenever the partition fits one region, so the scheduler
+            # can avoid it entirely by placing small partitions well.
+            remote = cfg.slr_remote_fraction(cst.size_bytes())
+            if remote > 0.0:
+                crossing = cfg.slr_crossing_penalty_cycles * remote * (
+                    report.total_partials + report.total_edge_tasks
+                )
+                report.slr_crossing_cycles = crossing
+                if trace and crossing:
+                    report.module_spans.append(
+                        ("slr_crossing", cursor, cursor + crossing)
+                    )
         return report
 
     def run_many(

@@ -20,6 +20,10 @@ class KernelReport:
     compute_cycles: float = 0.0
     load_cycles: float = 0.0
     flush_cycles: float = 0.0
+    #: Modeled cost of cross-SLR CST accesses; nonzero only when the
+    #: device has multiple SLRs, a crossing penalty, and a CST too big
+    #: for one region (see docs/devices.md).
+    slr_crossing_cycles: float = 0.0
     rounds: int = 0
     total_partials: int = 0       # N: expanded partial results
     total_edge_tasks: int = 0     # M: edge-validation tasks
@@ -37,8 +41,9 @@ class KernelReport:
 
     @property
     def total_cycles(self) -> float:
-        """Compute plus data-movement cycles."""
-        return self.compute_cycles + self.load_cycles + self.flush_cycles
+        """Compute, data-movement, and SLR-crossing cycles."""
+        return (self.compute_cycles + self.load_cycles
+                + self.flush_cycles + self.slr_crossing_cycles)
 
     @property
     def seconds(self) -> float:
@@ -66,6 +71,7 @@ class KernelReport:
         self.compute_cycles += other.compute_cycles
         self.load_cycles += other.load_cycles
         self.flush_cycles += other.flush_cycles
+        self.slr_crossing_cycles += other.slr_crossing_cycles
         self.rounds += other.rounds
         self.total_partials += other.total_partials
         self.total_edge_tasks += other.total_edge_tasks

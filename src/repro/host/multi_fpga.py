@@ -16,6 +16,17 @@ sweeps reuse cached CSTs):
 * each device runs its own :class:`~repro.fpga.engine.FastEngine` and
   PCIe link; end-to-end time is host preparation plus the slowest
   device (the makespan).
+
+Beyond the paper's "N identical FPGAs", the runner accepts a
+heterogeneous ``fleet`` of catalog parts
+(:func:`repro.fpga.catalog.parse_fleet`, e.g. ``"u200,u280x2"``). A
+fleet changes three things, none of them counts: Algorithm 2 runs
+against the *tightest* device's ``delta_S`` / ``delta_D`` so every
+partition fits every card; placement costs are normalised by each
+part's clock and memory latency, so faster cards absorb more work; and
+a partition whose CST would span SLRs on a candidate card has the
+modeled crossing penalty added to that card's bid, steering it toward
+single-SLR placements (docs/devices.md).
 """
 
 from __future__ import annotations
@@ -24,8 +35,10 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import DeviceError, FatalDeviceError
 from repro.costs.cpu import CpuCostModel
+from repro.cst.partition import PartitionLimits
 from repro.cst.structure import CST, ENTRY_BYTES
 from repro.cst.workload import estimate_workload
+from repro.fpga.catalog import DeviceSpec, parse_fleet
 from repro.fpga.config import FpgaConfig
 from repro.fpga.engine import FastEngine
 from repro.fpga.kernel import MatchPlan
@@ -47,7 +60,11 @@ from repro.runtime.stages import (
     cached_partition_list,
     plan_stage,
 )
-from repro.runtime.tracing import MODELED, trace_device_lanes
+from repro.runtime.tracing import (
+    MODELED,
+    device_lane_prefix,
+    trace_device_lanes,
+)
 
 
 def _run_device(
@@ -89,13 +106,21 @@ def _run_device(
 
 @dataclass
 class DeviceLoad:
-    """One FPGA's accumulated assignment."""
+    """One FPGA's accumulated assignment.
+
+    ``workload`` is in the pool's placement-cost units: the raw
+    Algorithm 2 workload estimate for a homogeneous pool (the paper's
+    rule), clock/latency-normalised modeled cost for a heterogeneous
+    fleet. ``part`` is the catalog part name when the device came from
+    a fleet spec.
+    """
 
     index: int
     workload: float = 0.0
     num_csts: int = 0
     kernel: KernelReport | None = None
     pcie_seconds: float = 0.0
+    part: str | None = None
 
     @property
     def seconds(self) -> float:
@@ -139,7 +164,15 @@ class MultiFpgaResult:
 
 @dataclass
 class MultiFpgaRunner:
-    """FAST across ``num_devices`` identical simulated FPGAs."""
+    """FAST across a pool of simulated FPGAs.
+
+    Without a ``fleet`` the pool is ``num_devices`` identical copies of
+    ``config`` (the paper's Section VII-E setting). A ``fleet`` — a
+    tuple of :class:`~repro.fpga.catalog.DeviceSpec` or a spec string
+    like ``"u200,u280x2"`` — makes the pool heterogeneous: one config
+    per device, capacity-aware placement, SLR-aware bids, and
+    part-labeled trace lanes. ``num_devices`` then follows the fleet.
+    """
 
     num_devices: int = 2
     config: FpgaConfig = field(default_factory=FpgaConfig)
@@ -148,8 +181,19 @@ class MultiFpgaRunner:
     cpu_cost_model: CpuCostModel = field(default_factory=CpuCostModel)
     #: Shared execution context (see :class:`FastRunner.context`).
     context: RunContext | None = None
+    #: Heterogeneous device fleet; ``None`` = ``num_devices`` x
+    #: ``config``.
+    fleet: tuple[DeviceSpec, ...] | str | None = None
 
     def __post_init__(self) -> None:
+        if isinstance(self.fleet, str):
+            self.fleet = parse_fleet(self.fleet)
+        elif self.fleet is not None:
+            self.fleet = tuple(self.fleet)
+        if self.fleet is not None:
+            if not self.fleet:
+                raise DeviceError("fleet spec resolves to zero devices")
+            self.num_devices = len(self.fleet)
         if self.num_devices < 1:
             raise DeviceError("need at least one device")
 
@@ -157,6 +201,41 @@ class MultiFpgaRunner:
         if self.context is not None:
             return self.context
         return RunContext(fpga=self.config, cpu_cost=self.cpu_cost_model)
+
+    def _device_configs(self, ctx: RunContext) -> list[FpgaConfig]:
+        """Per-device configs, in device-index order."""
+        if self.fleet is not None:
+            return [spec.config for spec in self.fleet]
+        return [ctx.fpga] * self.num_devices
+
+    def _device_part(self, index: int) -> str | None:
+        return self.fleet[index].part if self.fleet is not None else None
+
+    def _bid_cost(
+        self, cfg: FpgaConfig, workload: float, part_bytes: int
+    ) -> float:
+        """Modeled cost of one partition on one candidate device.
+
+        Homogeneous pools keep the raw workload estimate — exactly the
+        paper's min-workload rule, and bit-identical to the
+        pre-catalog placement. A fleet normalises the estimate into
+        modeled microseconds on the candidate: kernel cycles at the
+        part's clock, plus the streaming CST load at its memory
+        bandwidth/latency, plus the SLR crossing penalty whenever this
+        partition's CST would span SLRs there — which is what makes
+        placement prefer devices where the partition fits one SLR.
+        """
+        if self.fleet is None:
+            return workload
+        cycles = (
+            workload
+            + part_bytes / cfg.load_bytes_per_cycle
+            + cfg.dram_latency
+        )
+        if cfg.slr_count > 1 and cfg.slr_crossing_penalty_cycles > 0:
+            remote = cfg.slr_remote_fraction(part_bytes)
+            cycles += cfg.slr_crossing_penalty_cycles * remote * workload
+        return cycles / cfg.clock_mhz
 
     def run(
         self,
@@ -178,7 +257,17 @@ class MultiFpgaRunner:
             if ledger is not None else (0.0,) * self.num_devices
         )
 
-        limits = ctx.fpga.partition_limits(q)
+        configs = self._device_configs(ctx)
+        if self.fleet is None:
+            limits = ctx.fpga.partition_limits(q)
+        else:
+            # Any partition may land on any card (including through
+            # failover), so Algorithm 2 runs against the tightest
+            # delta_S / delta_D across the fleet.
+            limits = PartitionLimits(
+                max_bytes=min(c.cst_budget_bytes(q) for c in configs),
+                max_degree=min(c.max_ports for c in configs),
+            )
         if ledger is not None:
             # Pre-shrink delta_S when any device's history shows
             # residency faults: every partition may land on the
@@ -190,7 +279,8 @@ class MultiFpgaRunner:
             limits = _ledger_scaled_limits(ctx, limits, worst)
         with ctx.stage("partition") as st:
             parts, stats, cached = cached_partition_list(
-                ctx, data, cst, plan, limits, k_policy=self.k_policy
+                ctx, data, cst, plan, limits, k_policy=self.k_policy,
+                split_policy=ctx.split_policy,
             )
             partition_seconds = ctx.host_seconds(
                 stats.total_bytes // ENTRY_BYTES, data
@@ -202,32 +292,58 @@ class MultiFpgaRunner:
                 cached=cached,
             )
 
-        devices = [DeviceLoad(index=i) for i in range(self.num_devices)]
+        devices = [
+            DeviceLoad(index=i, part=self._device_part(i))
+            for i in range(self.num_devices)
+        ]
 
-        def placement_key(d: DeviceLoad) -> tuple[float, float, int]:
+        def placement_key(
+            d: DeviceLoad, workload: float, part_bytes: int
+        ) -> tuple[float, float, int]:
             # Section VII-E min-workload placement, biased by observed
             # health history: a flaky device's effective load is
             # inflated by its penalty, so its queue fills last, and the
             # penalty itself breaks ties at zero load toward healthy
-            # devices. Placement never changes counts — partitions are
-            # complete search spaces wherever they run.
+            # devices. A heterogeneous fleet additionally adds this
+            # partition's own normalised bid on the candidate (zero-
+            # extra for homogeneous pools, where the bid is device-
+            # independent), so a card whose SLRs the CST would span, or
+            # whose clock is slower, bids higher. Placement never
+            # changes counts — partitions are complete search spaces
+            # wherever they run.
+            bid = (
+                self._bid_cost(configs[d.index], workload, part_bytes)
+                if self.fleet is not None else 0.0
+            )
             return (
-                d.workload * (1.0 + penalties[d.index]),
+                d.workload * (1.0 + penalties[d.index]) + bid,
                 penalties[d.index],
                 d.index,
             )
 
+        def assign(pool: list[DeviceLoad], part: CST) -> DeviceLoad:
+            workload = estimate_workload(part)
+            part_bytes = part.size_bytes()
+            target = min(
+                pool, key=lambda d: placement_key(d, workload, part_bytes)
+            )
+            target.workload += self._bid_cost(
+                configs[target.index], workload, part_bytes
+            )
+            target.num_csts += 1
+            return target
+
         with ctx.stage("schedule") as st:
             assignment: list[list] = [[] for _ in devices]
             for part in parts:
-                target = min(devices, key=placement_key)
-                target.workload += estimate_workload(part)
-                target.num_csts += 1
+                target = assign(devices, part)
                 assignment[target.index].append(part)
             st.note(
                 num_devices=self.num_devices,
                 csts_per_device=tuple(d.num_csts for d in devices),
             )
+            if self.fleet is not None:
+                st.note(fleet=tuple(s.part for s in self.fleet))
             if ledger is not None:
                 st.note(device_penalties=penalties)
 
@@ -257,9 +373,7 @@ class MultiFpgaRunner:
                     if device.index not in dead:
                         continue
                     for part in assignment[device.index]:
-                        target = min(survivors, key=placement_key)
-                        target.workload += estimate_workload(part)
-                        target.num_csts += 1
+                        target = assign(survivors, part)
                         assignment[target.index].append(part)
                         health.record(FaultEvent(
                             kind=DEVICE_DEAD,
@@ -296,6 +410,9 @@ class MultiFpgaRunner:
                         "multi", self.num_devices,
                         tuple(d.num_csts for d in devices),
                         tuple(sorted(dead)),
+                        tuple(
+                            (s.part, repr(s.config)) for s in self.fleet
+                        ) if self.fleet is not None else None,
                     ),
                 )
                 journal.ensure_header(
@@ -319,7 +436,7 @@ class MultiFpgaRunner:
             pending = [d for d in active if d.index not in done]
             tasks: list[Task] = [
                 (_run_device,
-                 (ctx.fpga, self.variant, assignment[d.index],
+                 (configs[d.index], self.variant, assignment[d.index],
                   plan.match_plan, q.num_vertices, ctx.tracer.enabled))
                 for d in pending
             ]
@@ -365,11 +482,16 @@ class MultiFpgaRunner:
                     # modeled lanes stay deterministic at any workers.
                     trace_device_lanes(
                         tracer, device.index, schedule,
-                        kernel.module_spans, ctx.fpga.clock_mhz,
+                        kernel.module_spans,
+                        configs[device.index].clock_mhz,
+                        part=self._device_part(device.index),
                     )
                     if fetch:
+                        prefix = device_lane_prefix(
+                            device.index, self._device_part(device.index)
+                        )
                         tracer.span(
-                            f"device{device.index}/pcie", "fetch results",
+                            f"{prefix}/pcie", "fetch results",
                             timeline, fetch, clock=MODELED,
                         )
             if tracer.enabled:

@@ -24,6 +24,7 @@ from typing import Any, Callable, Iterator
 
 from repro.costs.cpu import CpuCostModel, OpCounters
 from repro.costs.resources import ResourceLimits
+from repro.fpga.catalog import DeviceSpec
 from repro.fpga.config import FpgaConfig
 from repro.graph.graph import Graph
 from repro.runtime.executor import ExecutorConfig
@@ -221,6 +222,17 @@ class RunContext:
     limits: ResourceLimits = field(default_factory=ResourceLimits)
     delta: float = 0.1
     seed: int = 7
+    #: Catalog identity of the (single) device; when set, ``fpga`` is
+    #: replaced by the part's config at construction, and trace device
+    #: lanes are labeled with the part name.
+    device: DeviceSpec | None = None
+    #: Heterogeneous multi-FPGA fleet (one spec per device, in device-
+    #: index order); consumed by the ``multi-fpga`` backend. ``None``
+    #: keeps the legacy "N copies of ``fpga``" pool.
+    fleet: tuple[DeviceSpec, ...] | None = None
+    #: Algorithm 2 split policy threaded to the partition stage
+    #: (``"order"`` or ``"degree"``; see docs/cst.md).
+    split_policy: str = "order"
     #: Injected-fault schedule; ``None`` (the default) runs fault-free
     #: with zero overhead on the happy path.
     fault_plan: FaultPlan | None = None
@@ -250,6 +262,19 @@ class RunContext:
     history: list[RunMetrics] = field(default_factory=list)
     #: Cap on ``history`` so long sweeps do not grow without bound.
     max_history: int = 512
+
+    def __post_init__(self) -> None:
+        if self.device is not None:
+            # The catalog identity wins over any directly-supplied
+            # config: one source of truth for the device parameters.
+            self.fpga = self.device.config
+        if self.fleet is not None:
+            self.fleet = tuple(self.fleet)
+
+    @property
+    def device_part(self) -> str | None:
+        """The catalog part name of the single device, if known."""
+        return self.device.part if self.device is not None else None
 
     def begin_run(self, backend: str) -> RunMetrics:
         """Start a fresh metrics record for one backend run."""

@@ -139,6 +139,7 @@ def report_to_dict(report: KernelReport) -> dict[str, Any]:
         "compute_cycles": report.compute_cycles,
         "load_cycles": report.load_cycles,
         "flush_cycles": report.flush_cycles,
+        "slr_crossing_cycles": report.slr_crossing_cycles,
         "rounds": report.rounds,
         "total_partials": report.total_partials,
         "total_edge_tasks": report.total_edge_tasks,
@@ -170,6 +171,7 @@ def report_from_dict(payload: Mapping[str, Any]) -> KernelReport:
         compute_cycles=payload["compute_cycles"],
         load_cycles=payload["load_cycles"],
         flush_cycles=payload["flush_cycles"],
+        slr_crossing_cycles=payload.get("slr_crossing_cycles", 0.0),
         rounds=payload["rounds"],
         total_partials=payload["total_partials"],
         total_edge_tasks=payload["total_edge_tasks"],

@@ -177,6 +177,7 @@ def _fast_runner(canonical: str, variant: str) -> BackendRunner:
         runner = FastRunner(
             config=ctx.fpga, variant=variant, delta=ctx.delta,
             cpu_cost_model=ctx.cpu_cost, context=ctx,
+            split_policy=ctx.split_policy,
         )
         result = runner.run(
             query, data, order=order, collect_results=collect_results
@@ -205,6 +206,7 @@ def _multi_fpga_runner(canonical: str) -> BackendRunner:
         runner = MultiFpgaRunner(
             num_devices=num_devices, config=ctx.fpga,
             cpu_cost_model=ctx.cpu_cost, context=ctx,
+            fleet=ctx.fleet,
         )
         result = runner.run(query, data, order=order)
         metrics = result.metrics.to_dict() if result.metrics else {}

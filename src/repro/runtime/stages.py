@@ -76,7 +76,11 @@ from repro.runtime.journal import (
     outcome_to_record,
     run_fingerprint,
 )
-from repro.runtime.tracing import MODELED, trace_device_lanes
+from repro.runtime.tracing import (
+    MODELED,
+    device_lane_prefix,
+    trace_device_lanes,
+)
 
 
 @dataclass(frozen=True)
@@ -860,11 +864,14 @@ def execute_stage(
             tracer = ctx.tracer
             trace_device_lanes(
                 tracer, 0, schedule, kernel_total.module_spans,
-                cfg.clock_mhz,
+                cfg.clock_mhz, part=ctx.device_part,
             )
             if fetch_seconds:
-                tracer.span("device0/pcie", "fetch results", timeline,
-                            fetch_seconds, clock=MODELED)
+                tracer.span(
+                    f"{device_lane_prefix(0, ctx.device_part)}/pcie",
+                    "fetch results", timeline,
+                    fetch_seconds, clock=MODELED,
+                )
             if cpu_share_seconds:
                 tracer.span("host", "cpu share", 0.0,
                             cpu_share_seconds, clock=MODELED)
@@ -898,6 +905,7 @@ def execute_stage(
             cpu_share_seconds=cpu_share_seconds,
             fpga_seconds=fpga_seconds,
             cycles=kernel_total.total_cycles,
+            slr_crossing_cycles=kernel_total.slr_crossing_cycles,
             rounds=kernel_total.rounds,
             N=kernel_total.total_partials,
             M=kernel_total.total_edge_tasks,

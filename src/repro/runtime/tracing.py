@@ -69,9 +69,11 @@ MODULE_LANES = (
     "synchronizer",
     "load",
     "flush",
+    "slr_crossing",
 )
 
-#: Lane -> paper module (Fig. 5 names); load/flush are data movement.
+#: Lane -> paper module (Fig. 5 names); load/flush are data movement,
+#: as is the modeled cross-SLR access penalty (docs/devices.md).
 MODULE_OF_LANE = {
     "generator_tv": "generator",
     "generator_tn": "generator",
@@ -80,6 +82,7 @@ MODULE_OF_LANE = {
     "synchronizer": "synchronizer",
     "load": "data_movement",
     "flush": "data_movement",
+    "slr_crossing": "data_movement",
 }
 
 
@@ -252,12 +255,24 @@ class Tracer:
         atomic_write_json(path, self.to_chrome_trace(), indent=None)
 
 
+def device_lane_prefix(device: int, part: str | None = None) -> str:
+    """Lane-group prefix of one device's modeled lanes.
+
+    ``device0`` when the part is anonymous (a bare
+    :class:`~repro.fpga.config.FpgaConfig`), ``device1:u280`` when the
+    run resolved the device from the catalog — heterogeneous-fleet
+    traces label every lane group with its part name.
+    """
+    return f"device{device}" if part is None else f"device{device}:{part}"
+
+
 def trace_device_lanes(
     tracer: Tracer,
     device: int,
     schedule: Sequence[tuple[float, float, float, float]],
     module_spans: Sequence[tuple[str, float, float]] | None,
     clock_mhz: float,
+    part: str | None = None,
 ) -> None:
     """Emit one device's modeled lanes from its overlap schedule.
 
@@ -270,10 +285,12 @@ def trace_device_lanes(
     kernel module — the view that reproduces Fig. 5. The single-FPGA
     execute stage emits device 0; the multi-FPGA runner one device per
     lane group, in device-index order, so traces stay deterministic.
+    ``part`` labels the lane group with the device's catalog part name
+    (see :func:`device_lane_prefix`).
     """
     if not tracer.enabled:
         return
-    prefix = f"device{device}"
+    prefix = device_lane_prefix(device, part)
     for n, (t_start, t_end, k_start, k_end) in enumerate(schedule):
         tracer.span(f"{prefix}/pcie", f"transfer p{n}", t_start,
                     t_end - t_start, clock=MODELED, launch=n)

@@ -1,0 +1,275 @@
+"""Tests for the FPGA device catalog (docs/devices.md)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import DeviceError
+from repro.fpga.catalog import (
+    BUILTIN_DEVICE_DIR,
+    DEFAULT_PART,
+    DEVICE_PATH_ENV,
+    default_device,
+    get_device,
+    load_catalog,
+    parse_fleet,
+    spec_from_payload,
+)
+from repro.fpga.config import FpgaConfig
+
+
+def valid_payload(**overrides) -> dict:
+    """A minimal valid part payload (a shrunk test card)."""
+    payload = {
+        "part": "test-card",
+        "display_name": "Test card",
+        "family": "test",
+        "memory": "dram",
+        "pcie": {"gen": 3, "width": 16, "gbytes_per_sec": 8.0},
+        "clock_mhz": 300.0,
+        "bram_bytes": 65536,
+        "bram_latency": 1,
+        "dram_latency": 8,
+        "load_bytes_per_cycle": 16,
+        "flush_bytes_per_cycle": 16,
+        "batch_size": 64,
+        "max_ports": 16,
+        "pipeline_depths": [2, 3, 2, 2, 2, 2],
+        "slr": {"count": 1, "bram_bytes": [65536]},
+    }
+    payload.update(overrides)
+    return payload
+
+
+def write_part(directory, payload, stem=None):
+    path = directory / f"{stem or payload['part']}.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+class TestShippedCatalog:
+    def test_lists_shipped_parts(self):
+        catalog = load_catalog()
+        for part in ("sim-small", "u200", "u250", "u280", "u50"):
+            assert part in catalog
+        assert len(catalog) >= 5
+
+    def test_default_part_is_the_config_defaults(self):
+        # The contract docs/devices.md and fpga/config.py both state:
+        # a default-constructed FpgaConfig IS the sim-small part.
+        assert default_device().part == DEFAULT_PART
+        assert default_device().config == FpgaConfig()
+
+    def test_every_shipped_file_validates(self):
+        catalog = load_catalog()
+        for spec in catalog.specs():
+            assert spec.source  # loaded from a real file
+            assert spec.config.bram_bytes > 0
+            assert sum(spec.config.slr_bram_bytes) == spec.config.bram_bytes
+
+    def test_shipped_dir_is_packaged_location(self):
+        assert BUILTIN_DEVICE_DIR.is_dir()
+        assert (BUILTIN_DEVICE_DIR / "sim-small.json").exists()
+
+    def test_multi_slr_parts_declare_penalty(self):
+        for part in ("u200", "u250", "u280", "u50"):
+            cfg = get_device(part).config
+            assert cfg.slr_count > 1
+            assert cfg.slr_crossing_penalty_cycles > 0
+
+    def test_summary_row_shape(self):
+        info = get_device("u280").summary()
+        assert info["part"] == "u280"
+        assert info["memory"] == "hbm"
+        assert info["pcie"] == "gen4 x8"
+        assert info["slrs"] == 3
+
+    def test_unknown_part_names_catalog(self):
+        with pytest.raises(DeviceError, match="unknown device part"):
+            get_device("u9999")
+        with pytest.raises(DeviceError, match="sim-small"):
+            get_device("u9999")
+
+
+class TestSchemaValidation:
+    def test_valid_payload_round_trips(self):
+        spec = spec_from_payload(valid_payload(), "mem")
+        assert spec.part == "test-card"
+        assert spec.config.bram_bytes == 65536
+
+    def test_non_object_payload(self):
+        with pytest.raises(DeviceError, match="not a JSON object"):
+            spec_from_payload([1, 2], "mem")
+
+    @pytest.mark.parametrize("field", [
+        "part", "display_name", "memory", "pcie", "clock_mhz",
+        "bram_bytes", "max_ports", "pipeline_depths", "slr",
+    ])
+    def test_missing_field_names_file_and_field(self, field):
+        payload = valid_payload()
+        del payload[field]
+        with pytest.raises(DeviceError) as err:
+            spec_from_payload(payload, "card.json")
+        assert f"card.json:{field}" in str(err.value)
+
+    @pytest.mark.parametrize("field", [
+        "clock_mhz", "bram_bytes", "batch_size", "max_ports",
+    ])
+    def test_negative_number_rejected(self, field):
+        with pytest.raises(DeviceError, match="must be positive"):
+            spec_from_payload(valid_payload(**{field: -1}), "mem")
+
+    def test_non_numeric_field_rejected(self):
+        with pytest.raises(DeviceError, match="expected a number"):
+            spec_from_payload(valid_payload(clock_mhz="fast"), "mem")
+
+    def test_bad_part_id_rejected(self):
+        with pytest.raises(DeviceError, match="part id"):
+            spec_from_payload(valid_payload(part="Bad Name!"), "mem")
+
+    def test_bad_memory_kind_rejected(self):
+        with pytest.raises(DeviceError, match="'dram' or 'hbm'"):
+            spec_from_payload(valid_payload(memory="sram"), "mem")
+
+    def test_bad_pipeline_depths_rejected(self):
+        with pytest.raises(DeviceError, match="pipeline_depths"):
+            spec_from_payload(
+                valid_payload(pipeline_depths=[2, 3]), "mem"
+            )
+
+    def test_missing_pcie_subfield_reports_dotted_path(self):
+        payload = valid_payload(pcie={"gen": 3, "width": 16})
+        with pytest.raises(DeviceError, match="pcie.gbytes_per_sec"):
+            spec_from_payload(payload, "mem")
+
+    def test_slr_sum_mismatch_names_file(self):
+        payload = valid_payload(
+            slr={"count": 2, "bram_bytes": [1024, 1024]}
+        )
+        with pytest.raises(DeviceError) as err:
+            spec_from_payload(payload, "card.json")
+        assert "card.json" in str(err.value)
+        assert "sums to" in str(err.value)
+
+    def test_slr_count_length_mismatch(self):
+        payload = valid_payload(slr={"count": 3, "bram_bytes": [65536]})
+        with pytest.raises(DeviceError, match="entries"):
+            spec_from_payload(payload, "mem")
+
+
+class TestCatalogLoading:
+    def test_malformed_json_names_file(self, tmp_path):
+        bad = tmp_path / "broken.json"
+        bad.write_text("{not json")
+        with pytest.raises(DeviceError) as err:
+            load_catalog(user_dirs=[tmp_path])
+        assert "broken.json" in str(err.value)
+        assert "invalid JSON" in str(err.value)
+
+    def test_user_dir_adds_part(self, tmp_path):
+        write_part(tmp_path, valid_payload())
+        catalog = load_catalog(user_dirs=[tmp_path])
+        assert "test-card" in catalog
+        assert "sim-small" in catalog  # builtins still present
+        assert get_device("test-card", catalog).config.max_ports == 16
+
+    def test_env_var_adds_part(self, tmp_path, monkeypatch):
+        write_part(tmp_path, valid_payload())
+        monkeypatch.setenv(DEVICE_PATH_ENV, str(tmp_path))
+        assert "test-card" in load_catalog()
+
+    def test_missing_user_dir_rejected(self, tmp_path):
+        with pytest.raises(DeviceError, match="not found"):
+            load_catalog(user_dirs=[tmp_path / "absent"])
+
+    def test_duplicate_part_names_both_files(self, tmp_path):
+        write_part(tmp_path, valid_payload(), stem="a")
+        write_part(tmp_path, valid_payload(), stem="b")
+        with pytest.raises(DeviceError) as err:
+            load_catalog(user_dirs=[tmp_path])
+        msg = str(err.value)
+        assert "duplicate device part 'test-card'" in msg
+        assert "a.json" in msg and "b.json" in msg
+
+    def test_user_file_cannot_shadow_builtin(self, tmp_path):
+        # Part names are stable identities, not override slots.
+        write_part(tmp_path, valid_payload(part="u200"))
+        with pytest.raises(DeviceError, match="duplicate device part"):
+            load_catalog(user_dirs=[tmp_path])
+
+
+class TestFleetParsing:
+    def test_single_part(self):
+        fleet = parse_fleet("u200")
+        assert [s.part for s in fleet] == ["u200"]
+
+    def test_multiplier_and_order(self):
+        fleet = parse_fleet("u200,u280x2")
+        assert [s.part for s in fleet] == ["u200", "u280", "u280"]
+
+    def test_whitespace_tolerated(self):
+        fleet = parse_fleet(" u200 , u50x2 ")
+        assert [s.part for s in fleet] == ["u200", "u50", "u50"]
+
+    def test_unknown_part_rejected(self):
+        with pytest.raises(DeviceError, match="unknown device part"):
+            parse_fleet("u200,nope")
+
+    def test_empty_token_rejected(self):
+        with pytest.raises(DeviceError, match="empty device token"):
+            parse_fleet("u200,,u280")
+
+    def test_fleet_from_user_catalog(self, tmp_path):
+        write_part(tmp_path, valid_payload())
+        catalog = load_catalog(user_dirs=[tmp_path])
+        fleet = parse_fleet("test-cardx3", catalog)
+        assert len(fleet) == 3
+
+
+class TestSlrModel:
+    def test_default_is_single_slr(self):
+        cfg = FpgaConfig()
+        assert cfg.slr_count == 1
+        assert cfg.slr_bram_bytes == (cfg.bram_bytes,)
+        assert cfg.slr_crossing_penalty_cycles == 0.0
+
+    def test_even_split_normalisation(self):
+        cfg = FpgaConfig(bram_bytes=100, slr_count=3, dram_latency=8)
+        assert sum(cfg.slr_bram_bytes) == 100
+        assert cfg.slr_bram_bytes == (34, 33, 33)
+
+    def test_spans_and_remote_fraction(self):
+        cfg = FpgaConfig(
+            bram_bytes=300, slr_count=3, slr_bram_bytes=(100, 100, 100)
+        )
+        assert cfg.slr_spans(0) == 0
+        assert cfg.slr_spans(80) == 1
+        assert cfg.slr_spans(150) == 2
+        assert cfg.slr_spans(250) == 3
+        assert cfg.slr_remote_fraction(80) == 0.0
+        assert cfg.slr_remote_fraction(200) == pytest.approx(0.5)
+
+    def test_remote_fraction_uses_largest_region(self):
+        cfg = FpgaConfig(
+            bram_bytes=300, slr_count=2, slr_bram_bytes=(200, 100)
+        )
+        assert cfg.slr_remote_fraction(150) == 0.0  # fits big SLR
+        assert cfg.slr_remote_fraction(250) == pytest.approx(0.2)
+
+    def test_slr_validation_errors(self):
+        with pytest.raises(DeviceError, match="slr_count"):
+            FpgaConfig(slr_count=0)
+        with pytest.raises(DeviceError, match="negative"):
+            FpgaConfig(slr_crossing_penalty_cycles=-1.0)
+        with pytest.raises(DeviceError, match="sums to"):
+            FpgaConfig(
+                bram_bytes=100, slr_count=2, slr_bram_bytes=(50, 40)
+            )
+        with pytest.raises(DeviceError, match="entries"):
+            FpgaConfig(bram_bytes=100, slr_bram_bytes=(50, 50))
+        with pytest.raises(DeviceError, match="positive"):
+            FpgaConfig(
+                bram_bytes=100, slr_count=2, slr_bram_bytes=(100, 0)
+            )

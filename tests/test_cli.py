@@ -96,6 +96,34 @@ class TestParser:
         assert args.trace_file == "out.json"
         assert args.top == 9
 
+    def test_device_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["match", "--device", "u250", "--fleet", "u200,u280x2",
+             "--split-policy", "degree"]
+        )
+        assert args.device == "u250"
+        assert args.fleet == "u200,u280x2"
+        assert args.split_policy == "degree"
+
+    def test_device_flags_default_off(self):
+        args = build_parser().parse_args(["match"])
+        assert args.device is None
+        assert args.fleet is None
+        assert args.split_policy == "order"
+
+    def test_compare_accepts_device_and_split_policy(self):
+        args = build_parser().parse_args(
+            ["compare", "--device", "u50", "--split-policy", "degree"]
+        )
+        assert args.device == "u50"
+        assert args.split_policy == "degree"
+
+    def test_bad_split_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["match", "--split-policy", "random"]
+            )
+
 
 class TestCommands:
     def test_match(self, capsys):
@@ -118,6 +146,58 @@ class TestCommands:
         out = capsys.readouterr().out
         assert rc == 0
         assert "num_vertices" in out
+
+    def test_devices_lists_catalog(self, capsys):
+        rc = main(["devices"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for part in ("sim-small", "u200", "u250", "u280", "u50"):
+            assert part in out
+
+    def test_match_on_catalog_device(self, capsys):
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--variant", "sep", "--device", "u250"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "embeddings" in out
+
+    def test_match_heterogeneous_fleet(self, capsys):
+        plain = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                      "--backend", "multi-fpga"])
+        plain_out = capsys.readouterr().out
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--backend", "multi-fpga", "--fleet", "u200,u280x2"])
+        out = capsys.readouterr().out
+        assert plain == 0 and rc == 0
+        # Counts never depend on the pool composition.
+        count = next(line for line in plain_out.splitlines()
+                     if "embeddings" in line)
+        assert count in out
+
+    def test_unknown_device_is_usage_error(self, capsys):
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--device", "u9999"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown device part" in err
+
+    def test_unknown_fleet_part_is_usage_error(self, capsys):
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--backend", "multi-fpga", "--fleet", "u200,nope"])
+        assert rc == 2
+        assert "unknown device part" in capsys.readouterr().err
+
+    def test_split_policy_keeps_counts(self, capsys):
+        order = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                      "--variant", "sep", "--split-policy", "order"])
+        order_out = capsys.readouterr().out
+        rc = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
+                   "--variant", "sep", "--split-policy", "degree"])
+        out = capsys.readouterr().out
+        assert order == 0 and rc == 0
+        count = next(line for line in order_out.splitlines()
+                     if "embeddings" in line)
+        assert count in out
 
     def test_match_under_recoverable_faults(self, capsys):
         clean = main(["match", "--dataset", "DG-MICRO", "--query", "q0",
