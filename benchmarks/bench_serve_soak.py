@@ -1,0 +1,260 @@
+"""Serving soak benchmark: 200 requests at ~5x admission capacity.
+
+One :class:`~repro.serve.server.MatchServer` lifetime serves a
+deterministic 200-request trace mixing:
+
+* two datasets and three queries (coalescing pressure on the CST
+  cache);
+* priorities 0-2 (ordering pressure on the queue);
+* past-deadline requests every 7th (modeled budgets far below the
+  run's cost, so they cancel mid-execute);
+* multi-FPGA requests every 11th against a pool whose device 1 is
+  dead under the seeded fault plan (failover pressure; device 0 stays
+  healthy so single-device jobs are unaffected);
+* ~5x more estimated work than the admission bucket fits, so most of
+  the trace sheds.
+
+Everything gated is in the modeled-time domain or a count, so the
+committed ``BENCH_serve.json`` baseline is machine-independent:
+
+* the per-status totals (every request terminal, nothing crashed);
+* the shed rate (overload degrades to refusals, not growth);
+* p99 modeled latency over completed jobs (the SLA number);
+* per-(backend, dataset, query) embedding counts, re-verified against
+  standalone registry runs (serving never changes counts).
+
+Standalone usage (CI's serve job runs ``--check``)::
+
+    python benchmarks/bench_serve_soak.py            # print JSON
+    python benchmarks/bench_serve_soak.py --write    # refresh baseline
+    python benchmarks/bench_serve_soak.py --check    # gate vs baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+from repro.common.io import atomic_write_json
+from repro.experiments.harness import make_context, tight_config
+from repro.ldbc.datasets import load_dataset
+from repro.ldbc.queries import get_query
+from repro.runtime.registry import REGISTRY
+from repro.runtime.tracing import validate_prometheus_text
+from repro.serve import MatchServer, ServeConfig
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+#: Allowed drift of deterministic modeled times vs. the baseline.
+MODELED_TOLERANCE = 1e-9
+
+NUM_REQUESTS = 200
+
+#: Seed 2 kills device 1 (and only device 1) at a 0.5 dead rate, so
+#: the two-device multi-FPGA pool loses half its fleet while the
+#: single-device backends keep a healthy device 0.
+FAULT_SEED = 2
+FAULT_RATES = (("device_dead", 0.5),)
+
+#: Bucket sized so the 200-request trace carries ~5x more estimated
+#: work than fits: 0.01s capacity + 4x queue headroom against 200
+#: default 0.001s estimates (0.2s of demand vs 0.05s accepted).
+CAPACITY_S = 0.01
+QUEUE_FACTOR = 4.0
+
+WORKLOADS = [
+    ("DG-MICRO", "q0"),
+    ("DG-MINI", "q1"),
+    ("DG-MICRO", "q2"),
+]
+
+
+def build_trace() -> list[str]:
+    """The canonical 200-request soak trace (pure function of i)."""
+    lines = []
+    for i in range(NUM_REQUESTS):
+        dataset, query = WORKLOADS[i % len(WORKLOADS)]
+        request = {
+            "id": f"soak-{i:03d}",
+            "dataset": dataset,
+            "query": query,
+            "priority": i % 3,
+        }
+        if i % 7 == 3:
+            # Far below any run's modeled cost: a guaranteed DEADLINE
+            # if admitted.
+            request["deadline_s"] = 1e-5
+        if i % 11 == 5:
+            request["backend"] = "multi-fpga"
+        lines.append(json.dumps(request))
+    return lines
+
+
+def serve_config() -> ServeConfig:
+    return ServeConfig(
+        capacity_s=CAPACITY_S,
+        queue_factor=QUEUE_FACTOR,
+        harness=replace(
+            tight_config(),
+            fault_seed=FAULT_SEED,
+            fault_rates=FAULT_RATES,
+        ),
+    )
+
+
+def collect() -> dict:
+    server = MatchServer(serve_config())
+    sink = io.StringIO()
+    report = server.run(build_trace(), sink)
+    responses = [json.loads(line)
+                 for line in sink.getvalue().splitlines()]
+    server.close()
+
+    if len(responses) != NUM_REQUESTS:
+        raise AssertionError(
+            f"{NUM_REQUESTS} requests but {len(responses)} responses"
+        )
+    validate_prometheus_text(server.metrics_text())
+
+    # Serving must never change counts: every completed triple has to
+    # match a standalone registry run under the same harness config.
+    counts: dict[str, int] = {}
+    for response in responses:
+        if response["status"] not in ("OK", "DEGRADED"):
+            continue
+        request = json.loads(
+            build_trace()[int(response["id"].split("-")[1])]
+        )
+        key = "/".join([
+            response["backend"], request["dataset"], request["query"],
+        ])
+        if key in counts and counts[key] != response["embeddings"]:
+            raise AssertionError(
+                f"{key}: count varied across the soak: "
+                f"{counts[key]} vs {response['embeddings']}"
+            )
+        counts[key] = response["embeddings"]
+    for key, embeddings in counts.items():
+        backend, dataset, query = key.split("/")
+        out = REGISTRY.get(backend).run(
+            make_context(serve_config().harness),
+            get_query(query).graph, load_dataset(dataset).graph,
+        )
+        if out.embeddings != embeddings:
+            raise AssertionError(
+                f"{key}: served {embeddings} but standalone run "
+                f"found {out.embeddings}"
+            )
+
+    completed = sorted(
+        r["modeled_seconds"] for r in responses
+        if r["status"] in ("OK", "DEGRADED")
+    )
+    return {
+        "num_requests": NUM_REQUESTS,
+        "capacity_s": CAPACITY_S,
+        "queue_factor": QUEUE_FACTOR,
+        "statuses": report.statuses,
+        "admission": report.admission,
+        "shed_rate": report.shed_rate,
+        "queue_peak": report.queue_peak,
+        "p99_modeled_latency_s": report.p99_modeled_latency(),
+        "max_modeled_latency_s": completed[-1] if completed else 0.0,
+        "embeddings": dict(sorted(counts.items())),
+        "breaker": report.breaker,
+    }
+
+
+def check(payload: dict, baseline: dict) -> list[str]:
+    """Gate failures of ``payload`` against the committed baseline."""
+    failures: list[str] = []
+    if payload["statuses"] != baseline["statuses"]:
+        failures.append(
+            f"status mix changed: {payload['statuses']} vs "
+            f"{baseline['statuses']}"
+        )
+    if payload["statuses"].get("FATAL"):
+        failures.append(
+            f"soak produced {payload['statuses']['FATAL']} FATAL "
+            f"responses; the trace contains none"
+        )
+    if payload["shed_rate"] != baseline["shed_rate"]:
+        failures.append(
+            f"shed rate changed: {payload['shed_rate']} vs "
+            f"{baseline['shed_rate']}"
+        )
+    if payload["embeddings"] != baseline["embeddings"]:
+        failures.append(
+            f"embedding counts changed: {payload['embeddings']} vs "
+            f"{baseline['embeddings']}"
+        )
+    drift = abs(
+        payload["p99_modeled_latency_s"]
+        - baseline["p99_modeled_latency_s"]
+    )
+    if drift > MODELED_TOLERANCE * max(
+        baseline["p99_modeled_latency_s"], 1.0
+    ):
+        failures.append(
+            f"p99 modeled latency drifted: "
+            f"{payload['p99_modeled_latency_s']!r} vs baseline "
+            f"{baseline['p99_modeled_latency_s']!r}"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="fail on any status-mix, shed-rate, "
+                             "count, or modeled-latency change vs the "
+                             "committed baseline")
+    parser.add_argument("--write", action="store_true",
+                        help="refresh the committed baseline JSON")
+    args = parser.parse_args(argv)
+
+    payload = collect()
+    print(json.dumps(payload, indent=2))
+    if args.write:
+        atomic_write_json(BASELINE_PATH, payload)
+        print(f"wrote {BASELINE_PATH}", file=sys.stderr)
+    if args.check:
+        baseline = json.loads(BASELINE_PATH.read_text())
+        failures = check(payload, baseline)
+        for line in failures:
+            print(f"FAIL: {line}", file=sys.stderr)
+        if failures:
+            return 1
+        print(
+            f"OK: {payload['statuses']} shed_rate="
+            f"{payload['shed_rate']:.3f} p99="
+            f"{payload['p99_modeled_latency_s']:.6f}s",
+            file=sys.stderr,
+        )
+    return 0
+
+
+# ----------------------------------------------------------------------
+# pytest entry (collected by `pytest benchmarks/`)
+# ----------------------------------------------------------------------
+
+
+def test_serve_soak_degrades_gracefully(benchmark):
+    from conftest import run_once
+
+    payload = run_once(benchmark, collect)
+    statuses = payload["statuses"]
+    assert sum(statuses.values()) == NUM_REQUESTS
+    assert statuses["FATAL"] == 0
+    assert statuses["SHED"] > 0          # overload really shed
+    assert statuses["DEADLINE"] > 0      # past-deadline jobs cancelled
+    assert statuses["DEGRADED"] > 0      # dead device degraded, not died
+    assert 0.5 < payload["shed_rate"] < 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

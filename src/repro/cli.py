@@ -1,9 +1,10 @@
 """Command-line interface.
 
-Six subcommands mirror the common workflows::
+Seven subcommands mirror the common workflows::
 
     python -m repro match    --dataset DG-MINI --query q1 [--backend fast-share]
     python -m repro compare  --dataset DG-MINI --query q2 [--algorithms ...]
+    python -m repro serve    [--requests trace.jsonl] [--state-dir DIR]
     python -m repro info     --dataset DG01
     python -m repro backends
     python -m repro devices
@@ -35,11 +36,24 @@ Perfetto-loadable Chrome trace-event JSON timeline), and
 ``--metrics-out`` (write the run's metrics as Prometheus text
 exposition); ``trace-summary`` prints the slowest spans of a recorded
 trace without opening Perfetto (docs/observability.md covers all
-three). Failure verdicts exit with a one-line
+three).
+
+``serve`` runs the long-lived matching service (docs/serving.md): it
+reads newline-JSON requests from stdin, ``--requests FILE``, or a TCP
+socket (``--listen HOST:PORT``), answers each with one terminal-status
+response line on stdout (or the socket), and keeps hot CSTs resident
+across requests. ``--capacity`` / ``--queue-factor`` tune admission
+control, ``--breaker-threshold`` / ``--breaker-cooldown`` the
+per-device circuit breaker, and ``--state-dir`` enables crash-safe
+recovery of accepted jobs.
+
+Failure verdicts exit with a one-line
 message and a distinct code instead of a traceback: 3 = OOM, 4 = INF,
-5 = OVERFLOW, 6 = fatal runtime error, 7 = resume fingerprint mismatch
-(1 stays the embedding-count-disagreement code of ``compare``, 2 the
-usage-error code).
+5 = OVERFLOW, 6 = fatal runtime error, 7 = resume fingerprint
+mismatch, 8 = server startup failure (bad bind, unrecoverable state
+dir); 1 stays the embedding-count-disagreement code of ``compare``,
+2 the usage-error code. The README's exit-code table consolidates
+these.
 """
 
 from __future__ import annotations
@@ -83,6 +97,10 @@ EXIT_FATAL = 6
 #: fingerprint does not match the requested run.
 EXIT_RESUME_MISMATCH = 7
 
+#: Exit code when the matching server cannot start: bad listen
+#: address, unrecoverable state directory, or invalid serve config.
+EXIT_SERVE = 8
+
 
 def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fault-seed", type=int, default=None,
@@ -103,6 +121,11 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="on-card staging buffers of the modeled "
                              "transfer/compute overlap pipeline "
                              "(default: 1 = no overlap)")
+    parser.add_argument("--cache-max-entries", type=int, default=256,
+                        metavar="N",
+                        help="bound on resident stage-cache entries "
+                             "(CSTs + partitions, LRU-evicted beyond "
+                             "this; default: 256)")
 
 
 def _add_journal_flags(parser: argparse.ArgumentParser) -> None:
@@ -153,6 +176,7 @@ def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
         max_retries=args.max_retries,
         workers=args.workers,
         buffers=args.buffers,
+        cache_max_entries=getattr(args, "cache_max_entries", 256),
         journal_path=getattr(args, "journal", None),
         resume_path=getattr(args, "resume", None),
         health_ledger_path=getattr(args, "health_ledger", None),
@@ -203,6 +227,57 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(compare)
     _add_executor_flags(compare)
     _add_device_flags(compare)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-lived matching service over newline-JSON requests",
+    )
+    serve.add_argument("--backend", default="fast-share",
+                       help="backend for requests that name none "
+                            "(default: fast-share)")
+    serve.add_argument("--requests", default=None, metavar="FILE",
+                       help="read requests from FILE instead of stdin "
+                            "(one JSON object per line)")
+    serve.add_argument("--listen", default=None, metavar="HOST:PORT",
+                       help="serve over a TCP socket instead of "
+                            "stdin/stdout (one connection at a time)")
+    serve.add_argument("--capacity", type=float, default=0.01,
+                       metavar="SECONDS",
+                       help="admission token-bucket capacity in "
+                            "estimated modeled seconds (default: 0.01)")
+    serve.add_argument("--queue-factor", type=float, default=4.0,
+                       metavar="X",
+                       help="queue headroom as a multiple of capacity "
+                            "before shedding (default: 4.0)")
+    serve.add_argument("--default-cost", type=float, default=0.001,
+                       metavar="SECONDS",
+                       help="estimated modeled cost of a never-seen "
+                            "(backend, dataset, query) triple "
+                            "(default: 0.001)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       metavar="N",
+                       help="consecutive device failures that open "
+                            "its circuit breaker (default: 3)")
+    serve.add_argument("--breaker-cooldown", type=int, default=8,
+                       metavar="N",
+                       help="served jobs before an open breaker "
+                            "half-opens for a probe (default: 8)")
+    serve.add_argument("--no-cpu-fallback", action="store_true",
+                       help="answer FATAL instead of rerouting "
+                            "breaker-open jobs to the exact-CPU "
+                            "fallback backend")
+    serve.add_argument("--state-dir", default=None, metavar="DIR",
+                       help="crash-safe service manifest + per-job "
+                            "journals; restarting with the same DIR "
+                            "resumes accepted jobs (docs/serving.md)")
+    _add_fault_flags(serve)
+    _add_executor_flags(serve)
+    _add_trace_flags(serve)
+    _add_device_flags(serve, fleet=True)
+    serve.add_argument("--health-ledger", default=None, metavar="PATH",
+                       help="persistent device-health ledger shared "
+                            "with standalone runs (scales admission "
+                            "capacity)")
 
     info = sub.add_parser("info", help="dataset statistics (Table III)")
     info.add_argument("--dataset", default="DG01", choices=_ALL_DATASETS)
@@ -411,6 +486,119 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return failure_code
 
 
+def _serve_sockets(server, host: str, port: int) -> "ServeReport":
+    """Accept TCP connections one at a time until interrupted."""
+    import socket
+
+    from repro.common.errors import ServeError
+
+    try:
+        listener = socket.create_server((host, port))
+    except OSError as exc:
+        raise ServeError(f"cannot bind {host}:{port}: {exc}") from exc
+    report = None
+    try:
+        print(f"serving on {host}:{port} (ctrl-c to stop)",
+              file=sys.stderr)
+        while True:
+            conn, peer = listener.accept()
+            with conn:
+                source = conn.makefile("r", encoding="utf-8")
+                sink = conn.makefile("w", encoding="utf-8")
+                try:
+                    report = server.run(source, sink)
+                except BrokenPipeError:
+                    pass  # client went away mid-response; keep serving
+                finally:
+                    source.close()
+                    try:
+                        sink.close()
+                    except BrokenPipeError:
+                        pass
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.close()
+    return report
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.common.errors import ServeError
+    from repro.serve import MatchServer, ServeConfig
+
+    try:
+        harness = _harness_config(args)
+    except DeviceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        backend=args.backend,
+        cpu_fallback=not args.no_cpu_fallback,
+        capacity_s=args.capacity,
+        queue_factor=args.queue_factor,
+        default_cost_s=args.default_cost,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        state_dir=args.state_dir,
+        health_ledger_path=args.health_ledger,
+        trace=args.trace is not None,
+        harness=harness,
+    )
+    try:
+        server = MatchServer(config)
+    except ServeError as exc:
+        print(f"serve: SERVE-FAILED: {exc}", file=sys.stderr)
+        return EXIT_SERVE
+    except DeviceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.listen is not None:
+            host, _, port_text = args.listen.rpartition(":")
+            try:
+                port = int(port_text)
+            except ValueError:
+                print(f"error: bad --listen address {args.listen!r} "
+                      f"(expected HOST:PORT)", file=sys.stderr)
+                return 2
+            try:
+                report = _serve_sockets(server, host or "127.0.0.1", port)
+            except ServeError as exc:
+                print(f"serve: SERVE-FAILED: {exc}", file=sys.stderr)
+                return EXIT_SERVE
+        else:
+            if args.requests is not None:
+                path = Path(args.requests)
+                if not path.exists():
+                    print(f"error: no such request file: {path}",
+                          file=sys.stderr)
+                    return 2
+                with path.open() as source:
+                    report = server.run(source, sys.stdout)
+            else:
+                report = server.run(sys.stdin, sys.stdout)
+    finally:
+        server.close()
+    if args.trace is not None:
+        server.write_trace(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics_out is not None:
+        server.write_metrics(args.metrics_out)
+        print(f"metrics written to {args.metrics_out}", file=sys.stderr)
+    if report is not None:
+        summary = " ".join(
+            f"{status}={count}"
+            for status, count in report.statuses.items()
+        )
+        print(
+            f"served {report.total} requests: {summary} "
+            f"(queue_peak={report.queue_peak}, "
+            f"recovered={report.recovered})",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     dataset = load_dataset(args.dataset)
     info = dataset.summary()
@@ -499,6 +687,7 @@ def main(argv: list[str] | None = None) -> int:
     handler = {
         "match": cmd_match,
         "compare": cmd_compare,
+        "serve": cmd_serve,
         "info": cmd_info,
         "backends": cmd_backends,
         "devices": cmd_devices,

@@ -111,6 +111,42 @@ class JournalMismatchError(JournalError):
     verdict = "RESUME-MISMATCH"
 
 
+class DeadlineExceededError(ReproError):
+    """A job's modeled-time budget ran out at a cancellation point.
+
+    Deadlines are evaluated against the *modeled* clock (never wall
+    time) so that whether a job is cancelled — and therefore the
+    per-job status sequence of the serving layer — is deterministic
+    across runs and worker counts. Cancellation fires between stages
+    (:meth:`repro.runtime.context.RunContext.stage`) and between
+    partition completions inside the execute stage; partial work is
+    already journaled at that point, so the run journal stays
+    resumable. The serving layer surfaces this as the distinct
+    ``DEADLINE`` status.
+    """
+
+    verdict = "DEADLINE"
+
+
+class ServeError(ReproError):
+    """The serving layer failed to start, bind, or recover its state.
+
+    The CLI surfaces this as the distinct ``SERVE-FAILED`` verdict
+    (exit code 8).
+    """
+
+    verdict = "SERVE-FAILED"
+
+
+class ProtocolError(ServeError):
+    """A request line violates the newline-JSON serving protocol.
+
+    Unlike :class:`ServeError` proper this never takes the server
+    down: the offending request is answered with a ``FATAL`` status
+    and the server keeps serving.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment driver received inconsistent parameters."""
 

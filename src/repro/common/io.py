@@ -15,15 +15,29 @@ Two primitives cover every persistent artifact the repo writes:
     returns, so a record is either durably complete on disk or absent.
     JSONL readers additionally tolerate a truncated final line (the
     one write the crash interrupted).
+
+:func:`file_lock`
+    An advisory inter-process mutex for multi-step transactions.
+    ``atomic_write_json`` makes each *write* atomic but a
+    read-modify-write sequence (load ledger, fold a run in, save) is
+    not: two processes sharing ``--health-ledger`` can interleave and
+    lose updates. Wrapping the whole transaction in
+    ``with file_lock(path):`` serializes them.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
+
+try:  # POSIX only; Windows falls back to no locking.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 
 def atomic_write_text(path: str | Path, text: str) -> None:
@@ -57,6 +71,35 @@ def atomic_write_json(path: str | Path, payload: Any, *,
     atomic_write_text(
         path, json.dumps(payload, indent=indent, sort_keys=True) + "\n"
     )
+
+
+@contextlib.contextmanager
+def file_lock(path: str | Path) -> Iterator[None]:
+    """Hold an exclusive advisory lock scoped to ``path``.
+
+    The lock lives on a ``<path>.lock`` sidecar file (never on the
+    data file itself, whose descriptor churns through
+    ``os.replace``), so lockers and atomic writers compose. Blocks
+    until the lock is granted; reentrant use from the same process
+    deadlocks, so keep critical sections small. On platforms without
+    ``fcntl`` this degrades to a no-op, matching the previous
+    (unlocked) behavior.
+    """
+    path = Path(path)
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        yield
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lock_path = path.with_name(path.name + ".lock")
+    fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+    try:
+        fcntl.flock(fd, fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+    finally:
+        os.close(fd)
 
 
 def fsync_append(fileno: int, record: dict[str, Any]) -> None:

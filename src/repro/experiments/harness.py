@@ -30,7 +30,7 @@ from repro.graph.graph import Graph
 from repro.ldbc.datasets import load_dataset
 from repro.ldbc.generator import LdbcDataset
 from repro.ldbc.queries import BenchmarkQuery, all_queries, get_query
-from repro.runtime.context import RunContext, StageCache
+from repro.runtime.context import CancellationToken, RunContext, StageCache
 from repro.runtime.executor import ExecutorConfig
 from repro.runtime.faults import FaultPlan, RetryPolicy
 from repro.runtime.journal import DeviceHealthLedger, RunJournal
@@ -95,6 +95,13 @@ class HarnessConfig:
     #: How Algorithm 2 picks the split vertex inside an oversized
     #: candidate set: ``"order"`` (paper) or ``"degree"``.
     split_policy: str = "order"
+    #: Modeled-seconds deadline for each run built from this config;
+    #: ``None`` never cancels. Exceeding it raises
+    #: :class:`~repro.common.errors.DeadlineExceededError` at the next
+    #: cancellation point (stage boundary / partition completion); the
+    #: serving layer maps that to the ``DEADLINE`` status
+    #: (docs/serving.md).
+    deadline_s: float | None = None
 
 
 def tight_config(base: HarnessConfig | None = None) -> HarnessConfig:
@@ -191,8 +198,13 @@ def make_context(
         device = get_device(config.device, catalog)
     if config.fleet is not None:
         fleet = parse_fleet(config.fleet, catalog)
+    cancellation = (
+        CancellationToken(config.deadline_s)
+        if config.deadline_s is not None else None
+    )
     return RunContext(
         tracer=tracer,
+        cancellation=cancellation,
         fpga=device.config if device is not None else config.fpga,
         device=device,
         fleet=fleet,

@@ -352,31 +352,51 @@ class MultiFpgaRunner:
         dead = set()
         if fplan is not None:
             dead = {d.index for d in devices if fplan.device_dead(d.index)}
-            if dead and len(dead) == len(devices):
-                raise FatalDeviceError(
-                    f"all {self.num_devices} devices failed; no survivor "
-                    f"to redistribute to"
-                )
-        for device in devices:
-            health.mark_device(
-                device.index, "dead" if device.index in dead else "ok"
+        # Circuit-breaker exclusions (serving layer): devices whose
+        # breaker is open are kept out of placement and failover as if
+        # dead, but recorded with their own status/event kind so the
+        # health ledger does not book them as new death observations.
+        opened: set[int] = set()
+        if ctx.breaker is not None:
+            opened = (
+                set(ctx.breaker.open_devices(self.num_devices)) - dead
             )
+        excluded = dead | opened
+        if excluded and len(excluded) == len(devices):
+            raise FatalDeviceError(
+                f"all {self.num_devices} devices are dead or "
+                f"breaker-open; no survivor to redistribute to"
+            )
+        for device in devices:
+            if device.index in dead:
+                status = "dead"
+            elif device.index in opened:
+                status = "open"
+            else:
+                status = "ok"
+            health.mark_device(device.index, status)
 
         with ctx.stage("execute") as st:
-            if dead:
+            if excluded:
                 # Partition independence (Definition 2) makes failover
                 # trivial: a dead device's queue redistributes to the
                 # survivors with minimum accumulated workload, exactly
                 # the Section VII-E assignment rule re-applied.
-                survivors = [d for d in devices if d.index not in dead]
+                survivors = [
+                    d for d in devices if d.index not in excluded
+                ]
                 for device in devices:
-                    if device.index not in dead:
+                    if device.index not in excluded:
                         continue
+                    kind = (
+                        DEVICE_DEAD if device.index in dead
+                        else "breaker_open"
+                    )
                     for part in assignment[device.index]:
                         target = assign(survivors, part)
                         assignment[target.index].append(part)
                         health.record(FaultEvent(
-                            kind=DEVICE_DEAD,
+                            kind=kind,
                             scope=("device", device.index),
                             attempt=0,
                             action="failover",
@@ -409,7 +429,7 @@ class MultiFpgaRunner:
                     extra=(
                         "multi", self.num_devices,
                         tuple(d.num_csts for d in devices),
-                        tuple(sorted(dead)),
+                        tuple(sorted(excluded)),
                         tuple(
                             (s.part, repr(s.config)) for s in self.fleet
                         ) if self.fleet is not None else None,
@@ -500,6 +520,11 @@ class MultiFpgaRunner:
                         "faults", "device_dead:failover", 0.0,
                         clock=MODELED, device=idx,
                     )
+                for idx in sorted(opened):
+                    tracer.instant(
+                        "faults", "breaker_open:failover", 0.0,
+                        clock=MODELED, device=idx,
+                    )
                 if resumed_devices:
                     tracer.count("journal_replays", resumed_devices)
             makespan = max(device_seconds, default=0.0)
@@ -508,6 +533,7 @@ class MultiFpgaRunner:
                 makespan_seconds=makespan,
                 device_seconds=tuple(d.seconds for d in devices),
                 dead_devices=tuple(sorted(dead)),
+                breaker_open_devices=tuple(sorted(opened)),
                 workers=exec_cfg.workers,
                 buffers=exec_cfg.buffers,
                 overlap_timeline=device_timelines,

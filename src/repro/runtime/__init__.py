@@ -17,6 +17,7 @@ registry here would create a cycle when ``repro.host`` loads first.
 from repro.runtime.context import (
     STAGES,
     CacheStats,
+    CancellationToken,
     RunContext,
     RunMetrics,
     StageCache,
@@ -61,6 +62,7 @@ __all__ = [
     "FAULT_KINDS",
     "STAGES",
     "CacheStats",
+    "CancellationToken",
     "ExecuteOutcome",
     "ExecutorConfig",
     "FaultEvent",

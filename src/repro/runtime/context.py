@@ -22,6 +22,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
+from repro.common.errors import DeadlineExceededError
 from repro.costs.cpu import CpuCostModel, OpCounters
 from repro.costs.resources import ResourceLimits
 from repro.fpga.catalog import DeviceSpec
@@ -34,6 +35,34 @@ from repro.runtime.tracing import MODELED, WALL, Tracer
 
 #: Canonical stage order of the pipeline (documented in docs/runtime.md).
 STAGES = ("plan", "build_cst", "partition", "schedule", "execute", "merge")
+
+
+@dataclass
+class CancellationToken:
+    """A modeled-time budget checked at the pipeline's safe points.
+
+    ``budget_s`` is the job's deadline expressed in *modeled* seconds
+    (``None`` disables cancellation). The pipeline consults the token
+    at stage entry (:meth:`RunContext.stage`) and between partition
+    completions inside the execute stage — points where all completed
+    work is already journaled, so a cancelled run's journal resumes
+    bit-identically. Because modeled seconds never depend on worker
+    count or wall clock, whether a given run is cancelled is
+    deterministic (docs/serving.md).
+    """
+
+    budget_s: float | None = None
+
+    def exceeded(self, modeled_seconds: float) -> bool:
+        return self.budget_s is not None and modeled_seconds >= self.budget_s
+
+    def check(self, modeled_seconds: float, where: str) -> None:
+        """Raise :class:`DeadlineExceededError` if the budget ran out."""
+        if self.exceeded(modeled_seconds):
+            raise DeadlineExceededError(
+                f"deadline exceeded at {where}: modeled "
+                f"{modeled_seconds:.9f}s >= budget {self.budget_s:.9f}s"
+            )
 
 
 @dataclass
@@ -152,12 +181,20 @@ class StageCache:
     harness sweeps cannot grow the cache without limit. Hits, misses,
     and evictions are counted per namespace and stamped into every
     run's metrics payload by :meth:`RunContext.finish_run`.
+
+    Entries can be *pinned* (:meth:`pin`/:meth:`unpin`): the serving
+    layer pins the CST of the batch it is currently coalescing so LRU
+    pressure from other hot datasets cannot evict it mid-batch. A key
+    may be pinned before its value exists. When every resident entry
+    is pinned the bound is allowed to overflow temporarily rather
+    than evicting pinned state.
     """
 
     def __init__(self, enabled: bool = True, max_entries: int = 256) -> None:
         self.enabled = enabled
         self.max_entries = max_entries
         self._store: dict[tuple, Any] = {}
+        self._pinned: set[tuple] = set()
         self._stats: dict[str, CacheStats] = {}
         # Concurrent partition tasks may rebuild partitions through the
         # cache (the fault supervisor's re-partition rung); the lock
@@ -189,16 +226,33 @@ class StageCache:
             stats.misses += 1
             value = build()
             while len(self._store) >= self.max_entries:
-                # Evict the least-recently-used entry (insertion order
-                # doubles as recency order under the refresh above).
-                evicted_key = next(iter(self._store))
+                # Evict the least-recently-used unpinned entry
+                # (insertion order doubles as recency order under the
+                # refresh above). If everything is pinned, overflow
+                # the bound instead of dropping pinned state.
+                evicted_key = next(
+                    (k for k in self._store if k not in self._pinned), None
+                )
+                if evicted_key is None:
+                    break
                 self._store.pop(evicted_key)
                 self.namespace_stats(evicted_key[0]).evictions += 1
             self._store[full_key] = value
             return value, False
 
+    def pin(self, namespace: str, key: tuple) -> None:
+        """Exempt ``key`` in ``namespace`` from LRU eviction."""
+        with self._lock:
+            self._pinned.add((namespace, *key))
+
+    def unpin(self, namespace: str, key: tuple) -> None:
+        """Make ``key`` in ``namespace`` evictable again."""
+        with self._lock:
+            self._pinned.discard((namespace, *key))
+
     def clear(self) -> None:
         self._store.clear()
+        self._pinned.clear()
 
     def __len__(self) -> int:
         return len(self._store)
@@ -253,6 +307,16 @@ class RunContext:
     #: effective delta_S for degraded ones, and ``finish_run`` folds
     #: each run's health report back in (persisting if path-backed).
     health_ledger: DeviceHealthLedger | None = None
+    #: Per-job modeled-time deadline; checked at stage entry and
+    #: between partition completions. ``None`` (the default) never
+    #: cancels, preserving the standalone ``match`` behavior.
+    cancellation: CancellationToken | None = None
+    #: Per-device circuit breaker consulted by the multi-FPGA runner
+    #: (duck-typed: ``open_devices(num_devices) -> set[int]``). Open
+    #: devices are excluded from placement and failover as if dead;
+    #: the serving layer owns the state machine
+    #: (:class:`repro.serve.breaker.CircuitBreaker`).
+    breaker: Any | None = None
     #: Span tracer (disabled by default); when enabled, every stage,
     #: partition, device queue, kernel module, fault, and journal
     #: append lands on a trace lane. See docs/observability.md.
@@ -289,9 +353,13 @@ class RunContext:
         metrics = self.current_metrics
         metrics.cache = self.cache.stats()
         if self.health_ledger is not None:
-            self.health_ledger.record_metrics(metrics)
             if self.health_ledger.path is not None:
-                self.health_ledger.save()
+                # Locked read-modify-write: concurrent runs sharing a
+                # ledger file each fold their run in without losing
+                # the other's update (docs/robustness.md).
+                self.health_ledger.record_and_save(metrics)
+            else:
+                self.health_ledger.record_metrics(metrics)
         return metrics
 
     @property
@@ -315,7 +383,16 @@ class RunContext:
         the block, so per-stage span sums telescope exactly to the
         bucket totals — the invariant
         :func:`repro.runtime.tracing.check_trace_invariants` enforces.
+
+        Stage entry is also a cancellation point: when the context
+        carries a :class:`CancellationToken` whose modeled budget is
+        already spent, the stage never starts and
+        :class:`~repro.common.errors.DeadlineExceededError` propagates.
         """
+        if self.cancellation is not None:
+            self.cancellation.check(
+                self.current_metrics.modeled_seconds, f"stage {name!r}"
+            )
         st = self.current_metrics.stage(name)
         tracing = self.tracer.enabled
         if tracing:

@@ -49,7 +49,12 @@ from typing import Any, Mapping
 import numpy as np
 
 from repro.common.errors import JournalError, JournalMismatchError
-from repro.common.io import atomic_write_json, fsync_append, read_jsonl
+from repro.common.io import (
+    atomic_write_json,
+    file_lock,
+    fsync_append,
+    read_jsonl,
+)
 from repro.fpga.report import KernelReport
 from repro.graph.graph import Graph
 from repro.host.cpu_matcher import CpuMatchCounters
@@ -576,7 +581,9 @@ class DeviceHealthLedger:
         for idx, status in health.device_status.items():
             stats = self.device(idx)
             stats.runs += 1
-            if status != "ok":
+            # "open" (circuit-breaker exclusion) is not a new death
+            # observation — only actual device loss raises dead_runs.
+            if status == "dead":
                 stats.dead_runs += 1
         for event in health.events:
             if event.kind == DEVICE_DEAD and len(event.scope) >= 2:
@@ -607,6 +614,26 @@ class DeviceHealthLedger:
             if exe is not None and exe.extra.get("num_csts"):
                 launches = {0: int(exe.extra["num_csts"])}
         self.record_run(metrics.health, launches)
+
+    def record_and_save(self, metrics: Any) -> None:
+        """Fold one run in and persist, as a single locked transaction.
+
+        ``atomic_write_json`` makes each save atomic, but load →
+        record → save is a read-modify-write: two processes sharing a
+        ledger path can interleave and silently drop each other's
+        runs. Under :func:`repro.common.io.file_lock` the whole
+        transaction serializes — the on-disk state is re-read while
+        the lock is held, this run is folded into *that*, and the
+        result written back, so concurrent writers always sum. The
+        in-memory view is refreshed to the merged state.
+        """
+        if self.path is None:
+            raise JournalError("health ledger has no path to save to")
+        with file_lock(self.path):
+            merged = type(self).load(self.path)
+            merged.record_metrics(metrics)
+            merged.save()
+            self.devices = merged.devices
 
     # -- scheduling policy ---------------------------------------------
 

@@ -704,6 +704,38 @@ def execute_stage(
                     cpu_done[j] = (found, counters_from_dict(rec["counters"]))
         resumed = len(outcomes) + len(cpu_done)
 
+        # -- deadline cancellation points ------------------------------
+        # The budget is checked against the modeled cost of the
+        # *contiguous prefix* of completed FPGA partitions (flat
+        # pcie + kernel + fault overhead, on top of the modeled time
+        # of the earlier stages). Prefix costs are fixed by the
+        # worklist, not by completion order, so whether a run is
+        # cancelled — though not which extra partitions the pool
+        # happened to finish — is identical at any worker count.
+        # Every checked outcome is already journaled, so a cancelled
+        # run's journal resumes bit-identically.
+        token = ctx.cancellation
+        base_modeled = ctx.current_metrics.modeled_seconds
+        deadline_prefix = {"next": 0, "cost": base_modeled}
+
+        def check_deadline() -> None:
+            if token is None:
+                return
+            while deadline_prefix["next"] in outcomes:
+                out = outcomes[deadline_prefix["next"]]
+                deadline_prefix["cost"] += (
+                    out.pcie_seconds
+                    + sum(r.seconds for r in out.reports)
+                    + out.overhead_seconds
+                )
+                deadline_prefix["next"] += 1
+            token.check(
+                deadline_prefix["cost"],
+                f"execute partition prefix {deadline_prefix['next']}",
+            )
+
+        check_deadline()  # a replayed prefix may already exceed it
+
         # FPGA and CPU-share partitions are all independent, so one
         # pool dispatch covers both; only work the journal has not
         # already completed is dispatched. Completion callbacks run on
@@ -749,6 +781,7 @@ def execute_stage(
                     journal.append(
                         outcome_to_record(i, out, collect_results)
                     )
+                check_deadline()
             else:
                 j = pending_cpu[pos - len(fpga_tasks)]
                 found, counters = result

@@ -1,0 +1,50 @@
+"""Long-lived matching service (docs/serving.md).
+
+The serving layer turns the one-shot staged pipeline into a process
+that stays up — and stays within SLA — under overload, device loss,
+and crashes:
+
+* :mod:`repro.serve.protocol` — the newline-JSON request/response
+  wire format and the five terminal statuses
+  (``OK``/``DEGRADED``/``DEADLINE``/``SHED``/``FATAL``);
+* :mod:`repro.serve.admission` — a token-bucket admission controller
+  bounding the backlog of *estimated modeled work* (admit / queue /
+  shed), its capacity scaled down by device-health history;
+* :mod:`repro.serve.breaker` — a per-device circuit breaker
+  (closed → open → half-open) that keeps failing devices out of
+  multi-FPGA placement and reroutes jobs to the exact-CPU fallback;
+* :mod:`repro.serve.server` — :class:`~repro.serve.server.MatchServer`
+  itself: resident :class:`~repro.runtime.context.StageCache` across
+  requests, same-CST batch coalescing, per-job modeled-time deadlines,
+  a crash-safe service manifest for restart recovery, and Prometheus /
+  trace exposition of the whole request lifecycle.
+
+Every scheduling decision (admission, ordering, deadlines, breaker
+transitions) is a function of the request trace and the fault seed —
+never of wall clock or worker count — so a replayed trace yields the
+same per-job status sequence, which is what makes overload behavior
+testable (``tests/test_serve.py``, ``benchmarks/bench_serve_soak.py``).
+"""
+
+from repro.serve.admission import AdmissionController, CostEstimator
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.protocol import (
+    TERMINAL_STATUSES,
+    JobRequest,
+    JobResponse,
+    parse_request,
+)
+from repro.serve.server import MatchServer, ServeConfig, ServeReport
+
+__all__ = [
+    "TERMINAL_STATUSES",
+    "AdmissionController",
+    "CircuitBreaker",
+    "CostEstimator",
+    "JobRequest",
+    "JobResponse",
+    "MatchServer",
+    "ServeConfig",
+    "ServeReport",
+    "parse_request",
+]

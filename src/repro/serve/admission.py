@@ -1,0 +1,121 @@
+"""Token-bucket admission control over estimated modeled work.
+
+The controller bounds the *backlog* — the summed estimated modeled
+cost of every accepted-but-unfinished job — so a request storm can
+never grow the queue (and its resident CSTs, journals, and partition
+payloads) without limit. Tokens are modeled seconds:
+
+* a job is **admitted** while the backlog fits the effective
+  capacity;
+* it is **queued** (accepted, but flagged as waiting on capacity)
+  while the backlog fits ``capacity * (1 + queue_factor)``;
+* beyond that it is **shed**: answered immediately with ``SHED`` and
+  never run. Shedding is the service-level outermost rung of the
+  degradation ladder (docs/robustness.md) — the server refuses work
+  instead of OOM-crashing under it.
+
+Cost estimates start from ``default_cost_s`` and are replaced by the
+live per-stage :class:`~repro.runtime.context.RunMetrics` observation
+the first time a ``(backend, dataset, query)`` triple completes, so
+the bucket learns real modeled costs as traffic flows. Tokens refill
+when a job reaches a terminal state (completed work leaves the
+backlog) — a refill driven by completed modeled work rather than wall
+clock, which keeps every decision a pure function of the request
+trace.
+
+The :class:`~repro.runtime.journal.DeviceHealthLedger` scales the
+effective capacity down: a fleet whose history shows flaky or dead
+devices gets ``capacity / (1 + mean_penalty)``, shedding earlier while
+degraded hardware is absorbing retries and failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.journal import DeviceHealthLedger
+from repro.serve.protocol import JobRequest
+
+
+@dataclass
+class CostEstimator:
+    """Estimated modeled cost per ``(backend, dataset, query)``.
+
+    ``observe`` keeps the most recent completed modeled time for the
+    triple; the estimate stays deterministic because modeled seconds
+    are (docs/timing_model.md).
+    """
+
+    default_cost_s: float = 0.001
+    observed: dict[tuple[str, str, str], float] = field(
+        default_factory=dict
+    )
+
+    def key(self, job: JobRequest) -> tuple[str, str, str]:
+        return (job.backend, job.dataset, job.query)
+
+    def estimate(self, job: JobRequest) -> float:
+        return self.observed.get(self.key(job), self.default_cost_s)
+
+    def observe(self, job: JobRequest, modeled_seconds: float) -> None:
+        self.observed[self.key(job)] = modeled_seconds
+
+
+@dataclass
+class AdmissionController:
+    """The token bucket itself; see the module docstring."""
+
+    #: Backlog bound in estimated modeled seconds.
+    capacity_s: float = 0.01
+    #: Extra headroom, as a fraction of capacity, in which jobs are
+    #: still accepted but reported as ``queue`` rather than ``admit``.
+    queue_factor: float = 4.0
+    estimator: CostEstimator = field(default_factory=CostEstimator)
+    #: Health history scaling the effective capacity (optional).
+    ledger: DeviceHealthLedger | None = None
+    #: Devices considered when averaging ledger penalties.
+    num_devices: int = 1
+
+    #: Summed estimates of accepted-but-unfinished jobs.
+    backlog_s: float = 0.0
+    #: Per-decision counters for metrics exposition.
+    decisions: dict[str, int] = field(
+        default_factory=lambda: {"admit": 0, "queue": 0, "shed": 0}
+    )
+
+    def effective_capacity_s(self) -> float:
+        """Capacity after the device-health discount."""
+        if self.ledger is None or self.num_devices < 1:
+            return self.capacity_s
+        penalties = [
+            self.ledger.penalty(i) for i in range(self.num_devices)
+        ]
+        mean_penalty = sum(penalties) / len(penalties)
+        return self.capacity_s / (1.0 + mean_penalty)
+
+    def decide(self, job: JobRequest) -> tuple[str, float]:
+        """Admission decision for ``job``: ``(decision, estimate_s)``.
+
+        ``admit`` and ``queue`` reserve the estimate in the backlog;
+        the caller must :meth:`release` it when the job terminates.
+        ``shed`` reserves nothing.
+        """
+        estimate = self.estimator.estimate(job)
+        capacity = self.effective_capacity_s()
+        if self.backlog_s + estimate <= capacity:
+            decision = "admit"
+        elif (
+            self.backlog_s + estimate
+            <= capacity * (1.0 + self.queue_factor)
+        ):
+            decision = "queue"
+        else:
+            decision = "shed"
+        if decision != "shed":
+            self.backlog_s += estimate
+        self.decisions[decision] += 1
+        return decision, estimate
+
+    def release(self, estimate_s: float) -> None:
+        """Return a terminated job's reservation to the bucket."""
+        self.backlog_s = max(0.0, self.backlog_s - estimate_s)

@@ -1,0 +1,218 @@
+"""Newline-JSON wire protocol of the matching service.
+
+One request per line in, one response per line out, over stdin/stdout
+or a TCP socket (``repro serve``). A request names a workload the
+registry can run plus its service envelope::
+
+    {"id": "r1", "dataset": "DG-MINI", "query": "q1",
+     "backend": "fast-share", "deadline_s": 0.01, "priority": 1}
+
+``id`` is the caller's correlation key (any non-empty string, unique
+per connection). ``backend`` defaults to the server's configured
+backend; ``deadline_s`` (modeled seconds, ``null`` = none) and
+``priority`` (higher runs first, default 0) are optional.
+
+Every request — including malformed ones — terminates with exactly one
+response carrying one of the five terminal statuses:
+
+``OK``
+    ran to completion on its planned backend, exact counts.
+``DEGRADED``
+    exact counts, but the run deviated from plan: the degradation
+    ladder fired (retry/re-partition/CPU fallback/failover) or the
+    circuit breaker rerouted the job to the exact-CPU fallback.
+``DEADLINE``
+    the job's modeled-time budget ran out; it was cancelled at a stage
+    or partition boundary with partial work journaled.
+``SHED``
+    admission control refused the job: the estimated modeled cost did
+    not fit the remaining capacity (docs/serving.md). Never ran.
+``FATAL``
+    the job cannot produce counts: malformed request, unknown
+    names, a modeled resource-exhaustion verdict (OOM/INF/OVERFLOW),
+    or an unrecoverable device error with fallback disabled.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import ProtocolError
+
+#: Every response carries exactly one of these.
+TERMINAL_STATUSES = ("OK", "DEGRADED", "DEADLINE", "SHED", "FATAL")
+
+#: Admission decisions stamped on responses and metrics.
+ADMISSION_DECISIONS = ("admit", "queue", "shed")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One validated request, plus its arrival order (``seq``)."""
+
+    id: str
+    dataset: str
+    query: str
+    backend: str
+    deadline_s: float | None = None
+    priority: int = 0
+    #: Arrival index assigned by the server; ties in priority are
+    #: served first-come-first-served through this.
+    seq: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "id": self.id,
+            "dataset": self.dataset,
+            "query": self.query,
+            "backend": self.backend,
+            "deadline_s": self.deadline_s,
+            "priority": self.priority,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "JobRequest":
+        return cls(
+            id=payload["id"],
+            dataset=payload["dataset"],
+            query=payload["query"],
+            backend=payload["backend"],
+            deadline_s=payload.get("deadline_s"),
+            priority=int(payload.get("priority", 0)),
+            seq=int(payload.get("seq", 0)),
+        )
+
+    @property
+    def batch_key(self) -> tuple[str, str]:
+        """Jobs sharing this key share a CST (coalesced into batches)."""
+        return (self.dataset, self.query)
+
+
+@dataclass
+class JobResponse:
+    """One terminal response; serialized as a single JSON line."""
+
+    id: str | None
+    status: str
+    embeddings: int | None = None
+    modeled_seconds: float | None = None
+    backend: str | None = None
+    admission: str | None = None
+    degraded_reason: str | None = None
+    detail: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.status not in TERMINAL_STATUSES:
+            raise ValueError(f"not a terminal status: {self.status!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"id": self.id, "status": self.status}
+        if self.embeddings is not None:
+            payload["embeddings"] = self.embeddings
+        if self.modeled_seconds is not None:
+            payload["modeled_seconds"] = self.modeled_seconds
+        if self.backend is not None:
+            payload["backend"] = self.backend
+        if self.admission is not None:
+            payload["admission"] = self.admission
+        if self.degraded_reason is not None:
+            payload["degraded_reason"] = self.degraded_reason
+        if self.detail:
+            payload["detail"] = self.detail
+        payload.update(self.extra)
+        return payload
+
+    def to_json_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+def _known_datasets() -> tuple[str, ...]:
+    from repro.ldbc.datasets import DATASET_SCALES, MICRO_SCALES
+
+    return tuple(sorted({**DATASET_SCALES, **MICRO_SCALES}))
+
+
+def parse_request(
+    line: str,
+    *,
+    default_backend: str = "fast-share",
+    seq: int = 0,
+) -> JobRequest:
+    """Validate one request line into a :class:`JobRequest`.
+
+    Raises :class:`~repro.common.errors.ProtocolError` with a message
+    suitable for the ``detail`` field of a ``FATAL`` response; the
+    parsed ``id`` (when one was recoverable) rides on the exception's
+    ``request_id`` attribute so the response still correlates.
+    """
+    from repro.ldbc.queries import QUERY_NAMES
+    from repro.runtime.registry import REGISTRY
+
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+
+    request_id = payload.get("id")
+    if not isinstance(request_id, str) or not request_id:
+        raise ProtocolError("request needs a non-empty string 'id'")
+
+    def error(msg: str) -> ProtocolError:
+        # Carry the parsed id so the FATAL response still correlates.
+        exc = ProtocolError(msg)
+        exc.request_id = request_id
+        return exc
+
+    dataset = payload.get("dataset")
+    if not isinstance(dataset, str) or dataset not in _known_datasets():
+        raise error(
+            f"unknown dataset {dataset!r}; known: "
+            f"{', '.join(_known_datasets())}"
+        )
+    query = payload.get("query")
+    if not isinstance(query, str) or query not in QUERY_NAMES:
+        raise error(
+            f"unknown query {query!r}; known: {', '.join(QUERY_NAMES)}"
+        )
+    backend = payload.get("backend", default_backend)
+    if not isinstance(backend, str) or backend not in REGISTRY:
+        raise error(f"unknown backend {backend!r}")
+    backend = REGISTRY.get(backend).name  # canonicalize aliases
+
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if not isinstance(deadline_s, (int, float)) or isinstance(
+            deadline_s, bool
+        ):
+            raise error(f"deadline_s must be a number, got {deadline_s!r}")
+        deadline_s = float(deadline_s)
+        if deadline_s < 0:
+            raise error(f"deadline_s must be >= 0, got {deadline_s!r}")
+
+    priority = payload.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise error(f"priority must be an integer, got {priority!r}")
+
+    unknown = set(payload) - {
+        "id", "dataset", "query", "backend", "deadline_s", "priority",
+    }
+    if unknown:
+        raise error(f"unknown request fields: {sorted(unknown)}")
+
+    return JobRequest(
+        id=request_id,
+        dataset=dataset,
+        query=query,
+        backend=backend,
+        deadline_s=deadline_s,
+        priority=priority,
+        seq=seq,
+    )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
@@ -110,3 +112,47 @@ class TestTables:
     def test_render_kv(self):
         text = render_kv("head", [("k", 1.5)])
         assert "head" in text and "k: 1.500" in text
+
+
+class TestFileLock:
+    def test_lock_is_reentrant_across_sequential_uses(self, tmp_path):
+        from repro.common.io import file_lock
+
+        target = tmp_path / "data.json"
+        for _ in range(3):
+            with file_lock(target):
+                pass
+        assert (tmp_path / "data.json.lock").exists()
+
+    def test_lock_serializes_read_modify_write(self, tmp_path):
+        """Two processes hammering one counter under file_lock lose no
+        increments — the satellite fix for the health-ledger race."""
+        import subprocess
+        import sys
+        import textwrap
+        from pathlib import Path
+
+        target = tmp_path / "counter.json"
+        target.write_text("0")
+        script = textwrap.dedent("""
+            import json, sys
+            from pathlib import Path
+            from repro.common.io import file_lock
+
+            target = Path(sys.argv[1])
+            for _ in range(int(sys.argv[2])):
+                with file_lock(target):
+                    value = json.loads(target.read_text())
+                    target.write_text(json.dumps(value + 1))
+        """)
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(target), "25"],
+                env={"PYTHONPATH": repo_src, "PATH": "/usr/bin:/bin"},
+            )
+            for _ in range(3)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        assert json.loads(target.read_text()) == 75

@@ -536,3 +536,65 @@ class TestStageCacheLru:
         )
         cst_stats = out.metrics["cache"]["cst"]
         assert "evictions" in cst_stats
+
+
+class TestLedgerLocking:
+    """record_and_save is a locked load→merge→save transaction, so
+    concurrent processes folding runs into one ledger lose nothing."""
+
+    def test_record_and_save_merges_with_disk_state(self, tmp_path):
+        from repro.runtime.context import RunMetrics
+
+        path = tmp_path / "ledger.json"
+        # Two in-memory ledgers against the same path, each folding a
+        # run: the second save must merge, not clobber, the first.
+        for _ in range(2):
+            ledger = DeviceHealthLedger(path)
+            metrics = RunMetrics(backend="fast-sep")
+            metrics.stage("execute").extra["num_csts"] = 5
+            metrics.health.device_status[0] = "ok"
+            ledger.record_and_save(metrics)
+        back = DeviceHealthLedger.load(path)
+        assert back.device(0).launches == 10
+        assert back.device(0).runs == 2
+
+    def test_record_and_save_requires_a_path(self):
+        from repro.runtime.context import RunMetrics
+
+        with pytest.raises(JournalError):
+            DeviceHealthLedger().record_and_save(
+                RunMetrics(backend="fast-sep")
+            )
+
+    def test_concurrent_processes_lose_no_runs(self, tmp_path):
+        import subprocess
+        import sys
+        import textwrap
+        from pathlib import Path
+
+        path = tmp_path / "ledger.json"
+        script = textwrap.dedent("""
+            import sys
+            from repro.runtime.context import RunMetrics
+            from repro.runtime.journal import DeviceHealthLedger
+
+            for _ in range(10):
+                ledger = DeviceHealthLedger(sys.argv[1])
+                metrics = RunMetrics(backend="fast-sep")
+                metrics.stage("execute").extra["num_csts"] = 1
+                metrics.health.device_status[0] = "ok"
+                ledger.record_and_save(metrics)
+        """)
+        repo_src = str(Path(__file__).resolve().parent.parent / "src")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", script, str(path)],
+                env={"PYTHONPATH": repo_src, "PATH": "/usr/bin:/bin"},
+            )
+            for _ in range(3)
+        ]
+        for proc in procs:
+            assert proc.wait(timeout=120) == 0
+        back = DeviceHealthLedger.load(path)
+        assert back.device(0).runs == 30
+        assert back.device(0).launches == 30

@@ -34,6 +34,7 @@ CHILD_SCRIPT = textwrap.dedent("""
     import json
     import sys
 
+    from repro.common.errors import DeadlineExceededError
     from repro.experiments.harness import (
         HarnessConfig, make_context, tight_config,
     )
@@ -42,20 +43,27 @@ CHILD_SCRIPT = textwrap.dedent("""
     from repro.runtime.registry import REGISTRY
 
     (backend, dataset, query, journal, mode,
-     fault_seed, workers, buffers, tight) = sys.argv[1:10]
+     fault_seed, workers, buffers, tight, deadline) = sys.argv[1:11]
     config = HarnessConfig(
         fault_seed=None if fault_seed == "-" else int(fault_seed),
         workers=int(workers),
         buffers=int(buffers),
         journal_path=journal if mode == "record" else None,
         resume_path=journal if mode == "resume" else None,
+        deadline_s=None if deadline == "-" else float(deadline),
     )
     if tight == "1":
         config = tight_config(config)
     ctx = make_context(config)
-    out = REGISTRY.get(backend).run(
-        ctx, get_query(query).graph, load_dataset(dataset).graph
-    )
+    try:
+        out = REGISTRY.get(backend).run(
+            ctx, get_query(query).graph, load_dataset(dataset).graph
+        )
+    except DeadlineExceededError as exc:
+        if ctx.journal is not None:
+            ctx.journal.close()
+        print(f"DEADLINE: {exc}")
+        sys.exit(9)
     if ctx.journal is not None:
         ctx.journal.close()
     print(json.dumps({
@@ -65,10 +73,14 @@ CHILD_SCRIPT = textwrap.dedent("""
     }, sort_keys=True))
 """)
 
+#: Child exit code for a deadline-cancelled run (distinct from any
+#: CLI code so a crash cannot be mistaken for a cancellation).
+EXIT_CHILD_DEADLINE = 9
+
 
 def run_child(backend, journal, mode, *, dataset="DG-MINI", query="q1",
               fault_seed=None, workers=1, buffers=1, tight=False,
-              crash_after=None):
+              crash_after=None, deadline=None):
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     env.pop("REPRO_JOURNAL_CRASH_AFTER", None)
@@ -78,7 +90,8 @@ def run_child(backend, journal, mode, *, dataset="DG-MINI", query="q1",
         [sys.executable, "-c", CHILD_SCRIPT, backend, dataset, query,
          str(journal), mode,
          "-" if fault_seed is None else str(fault_seed),
-         str(workers), str(buffers), "1" if tight else "0"],
+         str(workers), str(buffers), "1" if tight else "0",
+         "-" if deadline is None else repr(deadline)],
         capture_output=True, text=True, env=env, cwd=REPO_ROOT,
         timeout=300,
     )
@@ -194,6 +207,46 @@ class TestCliResume:
                          "--resume", str(tmp_path / "absent.jsonl")])
         assert proc.returncode == 6
         assert "Traceback" not in proc.stderr
+
+
+class TestDeadlineCancelResume:
+    """Deadline cancellation is an orderly crash: the journal left
+    behind resumes to a bit-identical completed run (ISSUE 7)."""
+
+    def test_deadline_journal_resumes_bit_identically(self, tmp_path):
+        journal = tmp_path / "deadline.jsonl"
+        baseline = run_child("fast-sep", journal, "none", tight=True)
+        assert baseline.returncode == 0, baseline.stderr[-800:]
+        total = json.loads(baseline.stdout)["modeled_seconds"]
+
+        # A budget at ~70% of the run's modeled time cancels
+        # mid-execute, after some partitions are already journaled.
+        cancelled = run_child("fast-sep", journal, "record",
+                              tight=True, deadline=total * 0.7)
+        assert cancelled.returncode == EXIT_CHILD_DEADLINE, (
+            cancelled.stderr[-800:]
+        )
+        assert "deadline exceeded" in cancelled.stdout
+        records = [json.loads(line)
+                   for line in journal.read_text().splitlines()]
+        assert records[0]["type"] == "header"
+        assert len(records) > 1  # partial work really was journaled
+
+        resumed = run_child("fast-sep", journal, "resume", tight=True)
+        assert resumed.returncode == 0, resumed.stderr[-800:]
+        assert resumed.stdout == baseline.stdout
+
+    def test_cancellation_point_is_deterministic(self, tmp_path):
+        # The modeled-time-domain deadline must fire at the same
+        # partition prefix regardless of worker count.
+        messages = []
+        for workers in (1, 4):
+            journal = tmp_path / f"w{workers}.jsonl"
+            proc = run_child("fast-sep", journal, "record", tight=True,
+                             workers=workers, deadline=0.0005)
+            assert proc.returncode == EXIT_CHILD_DEADLINE
+            messages.append(proc.stdout.strip())
+        assert messages[0] == messages[1]
 
 
 @pytest.mark.slow
