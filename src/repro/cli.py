@@ -121,6 +121,16 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="on-card staging buffers of the modeled "
                              "transfer/compute overlap pipeline "
                              "(default: 1 = no overlap)")
+    parser.add_argument("--pool", default="thread",
+                        choices=("thread", "process"),
+                        help="worker-pool implementation for "
+                             "--workers > 1 (default: thread; process "
+                             "sidesteps the GIL and ships partitions "
+                             "over the shared-memory CST plane)")
+    parser.add_argument("--no-shm", action="store_true",
+                        help="disable the zero-copy shared-memory CST "
+                             "plane for --pool process (partitions are "
+                             "then pickled per task; wall-clock only)")
     parser.add_argument("--cache-max-entries", type=int, default=256,
                         metavar="N",
                         help="bound on resident stage-cache entries "
@@ -176,6 +186,8 @@ def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
         max_retries=args.max_retries,
         workers=args.workers,
         buffers=args.buffers,
+        pool=getattr(args, "pool", "thread"),
+        shm=not getattr(args, "no_shm", False),
         cache_max_entries=getattr(args, "cache_max_entries", 256),
         journal_path=getattr(args, "journal", None),
         resume_path=getattr(args, "resume", None),
@@ -406,8 +418,9 @@ def cmd_match(args: argparse.Namespace) -> int:
         print(f"{spec.name}: fatal: {exc}", file=sys.stderr)
         return EXIT_FATAL
     finally:
-        if ctx.journal is not None:
-            ctx.journal.close()
+        # Closes the journal and unlinks any shared-memory segments the
+        # run's CST arena created.
+        ctx.close()
     if args.trace is not None:
         ctx.tracer.write_chrome_trace(args.trace)
         print(f"trace written to {args.trace}", file=sys.stderr)
@@ -450,31 +463,34 @@ def cmd_compare(args: argparse.Namespace) -> int:
     rows = []
     counts = set()
     failure_code = 0
-    for name, spec in zip(args.algorithms, specs):
-        try:
-            out = spec.run(ctx, query.graph, dataset.graph)
-        except ResourceExhausted as exc:
-            rows.append([name, exc.verdict, "-"])
-            failure_code = failure_code or VERDICT_EXIT_CODES.get(
-                exc.verdict, EXIT_FATAL
-            )
-            continue
-        except ReproError as exc:
-            print(f"{name}: fatal: {exc}", file=sys.stderr)
-            rows.append([name, "FATAL", "-"])
-            failure_code = failure_code or EXIT_FATAL
-            continue
-        if out.ok:
-            counts.add(out.embeddings)
-            time_cell = f"{out.seconds * 1e3:.3f}"
-            if out.degraded:
-                time_cell = f"{time_cell}*"  # recovered via degradation
-            rows.append([name, time_cell, out.embeddings])
-        else:
-            rows.append([name, out.verdict, "-"])
-            failure_code = failure_code or VERDICT_EXIT_CODES.get(
-                out.verdict, EXIT_FATAL
-            )
+    try:
+        for name, spec in zip(args.algorithms, specs):
+            try:
+                out = spec.run(ctx, query.graph, dataset.graph)
+            except ResourceExhausted as exc:
+                rows.append([name, exc.verdict, "-"])
+                failure_code = failure_code or VERDICT_EXIT_CODES.get(
+                    exc.verdict, EXIT_FATAL
+                )
+                continue
+            except ReproError as exc:
+                print(f"{name}: fatal: {exc}", file=sys.stderr)
+                rows.append([name, "FATAL", "-"])
+                failure_code = failure_code or EXIT_FATAL
+                continue
+            if out.ok:
+                counts.add(out.embeddings)
+                time_cell = f"{out.seconds * 1e3:.3f}"
+                if out.degraded:
+                    time_cell = f"{time_cell}*"  # recovered (degraded)
+                rows.append([name, time_cell, out.embeddings])
+            else:
+                rows.append([name, out.verdict, "-"])
+                failure_code = failure_code or VERDICT_EXIT_CODES.get(
+                    out.verdict, EXIT_FATAL
+                )
+    finally:
+        ctx.close()
     print(render_table(
         ["algorithm", "time_ms", "embeddings"], rows,
         title=f"{args.query} on {args.dataset}",

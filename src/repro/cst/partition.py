@@ -254,6 +254,13 @@ def _restrict(
     ``keep[x]`` is ``None`` (keep all) for vertices preceding ``u`` in
     the order, the part for ``u`` itself, and a reachability-filtered
     position array for following vertices.
+
+    Unfiltered pieces — every ``keep[x] is None`` candidate array, and
+    every adjacency whose source *and* target sets are kept whole —
+    are shared with the parent CST *by reference*, never copied. The
+    shared-memory CST plane (:mod:`repro.runtime.shm`) leans on this:
+    its arena memoizes placements by array identity, so a buffer many
+    partitions share lands in shared memory exactly once.
     """
     q = cst.query
     n = q.num_vertices

@@ -74,6 +74,9 @@ class HarnessConfig:
     buffers: int = 1
     #: Pool implementation for ``workers > 1`` (``thread``/``process``).
     pool: str = "thread"
+    #: Whether process-pool dispatch may use the zero-copy shared-
+    #: memory CST plane (wall-clock only; off = legacy pickled handoff).
+    shm: bool = True
     #: Bound on live stage-cache entries (LRU-evicted beyond this).
     cache_max_entries: int = 256
     #: Write a crash-safe run journal here (see docs/robustness.md).
@@ -219,6 +222,7 @@ def make_context(
             workers=config.workers,
             buffers=config.buffers,
             pool=config.pool,
+            shm=config.shm,
         ),
         journal=journal,
         health_ledger=health_ledger,

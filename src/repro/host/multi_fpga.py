@@ -31,6 +31,7 @@ single-SLR placements (docs/devices.md).
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.common.errors import DeviceError, FatalDeviceError
@@ -102,6 +103,25 @@ def _run_device(
     )
     pcie += fetch
     return kernel, pcie, segments, fetch
+
+
+def _run_device_desc(
+    cfg: FpgaConfig,
+    variant: str,
+    descs: tuple,
+    match_plan: MatchPlan,
+    result_vertices: int,
+    trace_modules: bool = False,
+) -> tuple[KernelReport, float, list[tuple[float, float]], float]:
+    """:func:`_run_device` with its queue delivered over the
+    shared-memory CST plane: the task pickles a tuple of
+    :class:`~repro.cst.structure.CstDescriptor` handles instead of the
+    partition payloads, and the worker rebuilds read-only zero-copy
+    views (see :mod:`repro.runtime.shm`)."""
+    parts = [CST.from_descriptor(d) for d in descs]
+    return _run_device(
+        cfg, variant, parts, match_plan, result_vertices, trace_modules
+    )
 
 
 @dataclass
@@ -454,12 +474,46 @@ class MultiFpgaRunner:
             resumed_devices = len(done)
 
             pending = [d for d in active if d.index not in done]
-            tasks: list[Task] = [
-                (_run_device,
-                 (configs[d.index], self.variant, assignment[d.index],
-                  plan.match_plan, q.num_vertices, ctx.tracer.enabled))
-                for d in pending
-            ]
+
+            # Device queues crossing a process boundary go over the
+            # shared-memory CST plane: descriptors in the pipe, the
+            # partition arrays mapped once per worker. Falls back to
+            # pickled queues (with a warning) when shared memory is
+            # unavailable or disabled.
+            use_pool = exec_cfg.workers > 1 and len(pending) > 1
+            arena = None
+            cst_plane = "local"
+            if exec_cfg.pool == "process" and use_pool:
+                if exec_cfg.shm:
+                    arena = ctx.ensure_arena()
+                    if arena is None:
+                        warnings.warn(
+                            "shared-memory CST plane unavailable; "
+                            "process-pool device queues fall back to "
+                            "pickled CSTs",
+                            RuntimeWarning,
+                            stacklevel=2,
+                        )
+                cst_plane = "shm" if arena is not None else "pickle"
+            if arena is not None:
+                tasks: list[Task] = [
+                    (_run_device_desc,
+                     (configs[d.index], self.variant,
+                      tuple(
+                          arena.descriptor_for(p)
+                          for p in assignment[d.index]
+                      ),
+                      plan.match_plan, q.num_vertices,
+                      ctx.tracer.enabled))
+                    for d in pending
+                ]
+            else:
+                tasks = [
+                    (_run_device,
+                     (configs[d.index], self.variant, assignment[d.index],
+                      plan.match_plan, q.num_vertices, ctx.tracer.enabled))
+                    for d in pending
+                ]
 
             def on_device_done(pos: int, result: tuple) -> None:
                 idx = pending[pos].index
@@ -536,6 +590,9 @@ class MultiFpgaRunner:
                 breaker_open_devices=tuple(sorted(opened)),
                 workers=exec_cfg.workers,
                 buffers=exec_cfg.buffers,
+                pool=exec_cfg.pool,
+                executor_pool_effective=exec_cfg.pool,
+                cst_plane=cst_plane,
                 overlap_timeline=device_timelines,
             )
             if journal is not None:

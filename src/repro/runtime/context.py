@@ -31,6 +31,7 @@ from repro.graph.graph import Graph
 from repro.runtime.executor import ExecutorConfig
 from repro.runtime.faults import FaultPlan, HealthReport, RetryPolicy
 from repro.runtime.journal import DeviceHealthLedger, RunJournal
+from repro.runtime.shm import CstArena
 from repro.runtime.tracing import MODELED, WALL, Tracer
 
 #: Canonical stage order of the pipeline (documented in docs/runtime.md).
@@ -326,6 +327,16 @@ class RunContext:
     history: list[RunMetrics] = field(default_factory=list)
     #: Cap on ``history`` so long sweeps do not grow without bound.
     max_history: int = 512
+    #: Shared-memory CST plane for process-pool dispatch
+    #: (:mod:`repro.runtime.shm`). Created lazily by
+    #: :meth:`ensure_arena` on the first process-pool execute; a
+    #: caller may also inject a longer-lived arena (the serving layer
+    #: shares one across coalesced batches), in which case this
+    #: context never closes it.
+    arena: CstArena | None = None
+    #: Whether :meth:`close` owns ``arena`` (set by ``ensure_arena``;
+    #: injected arenas stay owned by their creator).
+    arena_owned: bool = field(default=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.device is not None:
@@ -417,6 +428,37 @@ class RunContext:
                     "stages", name, modeled_total0,
                     st.modeled_seconds - modeled_bucket0, clock=MODELED,
                 )
+
+    def ensure_arena(self) -> CstArena | None:
+        """The shared-memory CST plane, created on first use.
+
+        Returns ``None`` when shared memory is unavailable on the
+        platform (the execute stage then falls back to pickled
+        process-pool payloads — same results, legacy wall clock).
+        """
+        if self.arena is not None and not self.arena.closed:
+            return self.arena
+        try:
+            self.arena = CstArena()
+        except OSError:
+            self.arena = None
+            return None
+        self.arena_owned = True
+        return self.arena
+
+    def close(self) -> None:
+        """Release owned resources (idempotent).
+
+        Closes the journal and unlinks the arena's shared-memory
+        segments — but only an arena this context created itself; an
+        injected (serving-layer) arena outlives the job context that
+        borrowed it.
+        """
+        if self.journal is not None:
+            self.journal.close()
+        if self.arena is not None and self.arena_owned:
+            self.arena.close()
+            self.arena = None
 
     def host_seconds(self, ops: int, data: Graph) -> float:
         """Modeled host time for ``ops`` index operations on ``data``."""

@@ -60,6 +60,28 @@ Task = tuple[Callable[..., Any], tuple]
 POOL_MODES = ("thread", "process")
 
 
+def _process_worker_init() -> None:  # pragma: no cover - worker side
+    """Tie each pool worker's lifetime to its parent (Linux).
+
+    A SIGKILLed parent (the crash-injection tests, a real OOM kill)
+    must not leave orphaned workers behind: they would pin the
+    ``multiprocessing`` resource tracker's pipe open and delay the
+    cleanup of shared-memory segments indefinitely. ``PR_SET_PDEATHSIG``
+    delivers SIGKILL to the worker the moment its parent dies; on
+    platforms without ``prctl`` this is a silent no-op (workers then
+    exit with the pool as before).
+    """
+    try:
+        import ctypes
+        import signal
+
+        PR_SET_PDEATHSIG = 1
+        libc = ctypes.CDLL(None, use_errno=True)
+        libc.prctl(PR_SET_PDEATHSIG, int(signal.SIGKILL))
+    except Exception:
+        pass
+
+
 @dataclass(frozen=True)
 class ExecutorConfig:
     """Concurrency and overlap knobs of the execute stage.
@@ -75,6 +97,12 @@ class ExecutorConfig:
     workers: int = 1
     buffers: int = 1
     pool: str = "thread"
+    #: Whether process-pool dispatch may use the zero-copy shared-
+    #: memory CST plane (:mod:`repro.runtime.shm`). Off, partitions
+    #: cross the process boundary pickled — the legacy handoff, kept
+    #: as a benchmark baseline and an escape hatch. Wall-clock only:
+    #: modeled seconds, counts, and fingerprints ignore this knob.
+    shm: bool = True
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -167,6 +195,12 @@ class PartitionOutcome:
     #: :class:`PartitionOutcome` self-contained, which is what lets
     #: the run journal persist a partition as one complete record.
     fallbacks: list = field(default_factory=list)
+    #: Write-ahead ladder rung records accumulated by a supervisor
+    #: running in a *worker process* (which cannot reach the journal
+    #: file); the parent appends them — before the partition record,
+    #: preserving replay order — on the result-merge path. Empty when
+    #: the supervisor journals directly (inline/thread execution).
+    ladder_records: list = field(default_factory=list)
 
 
 class PartitionExecutor:
@@ -206,10 +240,12 @@ class PartitionExecutor:
             return results
         workers = min(cfg.workers, len(tasks))
         if cfg.pool == "process":
-            pool_cls: Callable[..., Any] = ProcessPoolExecutor
+            pool_ctx: Any = ProcessPoolExecutor(
+                max_workers=workers, initializer=_process_worker_init
+            )
         else:
-            pool_cls = ThreadPoolExecutor
-        with pool_cls(max_workers=workers) as pool:
+            pool_ctx = ThreadPoolExecutor(max_workers=workers)
+        with pool_ctx as pool:
             futures = [pool.submit(fn, *args) for fn, args in tasks]
             if on_result is not None:
                 index_of = {id(f): i for i, f in enumerate(futures)}

@@ -48,6 +48,8 @@ from repro.common.errors import (
     TransientDeviceError,
 )
 from repro.common.rng import derive_seed
+from repro.costs.cpu import CpuCostModel, OpCounters
+from repro.fpga.config import FpgaConfig
 
 #: Partition-level transient fault kinds the supervisor understands.
 FAULT_KINDS = (
@@ -194,6 +196,55 @@ class RetryPolicy:
         )
         u = derive_seed(seed, "backoff", attempt, *scope) / _U64
         return base * (1.0 + self.jitter * (2.0 * u - 1.0))
+
+
+@dataclass(frozen=True)
+class SupervisorCore:
+    """The picklable core of the execute-stage partition supervisor.
+
+    The degradation ladder used to close over the whole
+    :class:`~repro.runtime.context.RunContext` (cache lock, journal
+    file handle, tracer), which does not pickle — so supervised runs
+    silently downgraded ``--pool process`` to threads. This bundle
+    extracts exactly what a ladder task needs, all of it frozen
+    dataclasses and scalars: :class:`FaultPlan` decisions are pure in
+    ``(seed, kind, scope)`` and :class:`RetryPolicy` backoff is pure in
+    ``(seed, attempt, scope)``, so a worker process reproduces the
+    parent's fault schedule bit-identically. The data graph itself is
+    reduced to the two scalars the host cost model reads.
+
+    Cache and journal writes stay on the parent: a process-pool ladder
+    accumulates its write-ahead rung records in
+    :attr:`~repro.runtime.executor.PartitionOutcome.ladder_records`
+    and the parent journals them on the result-merge path.
+    """
+
+    fpga: FpgaConfig
+    engine_variant: str
+    retry_policy: RetryPolicy
+    fault_plan: FaultPlan | None
+    seed: int
+    trace_modules: bool
+    cpu_cost: CpuCostModel
+    avg_degree: float
+    num_vertices: int
+
+    @property
+    def backoff_seed(self) -> int:
+        """Seed of the charged-backoff jitter (fault seed if any)."""
+        return (
+            self.fault_plan.seed if self.fault_plan is not None
+            else self.seed
+        )
+
+    def host_seconds(self, ops: int) -> float:
+        """Modeled host time of ``ops`` index operations (the ladder's
+        re-partition charge; mirrors ``RunContext.host_seconds``)."""
+        return self.cpu_cost.seconds(
+            OpCounters(index_build_ops=ops),
+            self.avg_degree,
+            self.num_vertices,
+        )
 
 
 @dataclass

@@ -1,0 +1,386 @@
+"""Zero-copy shared-memory CST plane for the process pool.
+
+``--pool process`` sidesteps the GIL, but pickling every partition's
+CST payload per task used to eat the win: candidates and CSR adjacency
+arrays were serialized into the call pipe, copied into the worker, and
+deserialized again — per partition, per attempt. This module keeps the
+arrays out of the pipe entirely:
+
+:class:`CstArena`
+    A bump allocator over named ``multiprocessing.shared_memory``
+    segments, owned by the dispatching (parent) process. The execute
+    stage places each partition's backing buffers — ``candidates[u]``
+    plus every adjacency ``indptr``/``targets`` — into the arena once,
+    and ships only :class:`ArrayRef` descriptors across the process
+    boundary.
+
+:class:`ArrayRef`
+    A ``(segment, offset, shape)`` triple. ``view()`` reconstructs a
+    read-only ``int64`` numpy view over the segment with zero copy.
+    Workers attach each segment once (module-level cache) and map it
+    read-only; under the default ``fork`` start method they usually
+    inherit the parent's mapping and never even hit the filesystem.
+
+Lifecycle: the arena is created lazily on the first process-pool
+dispatch (:meth:`repro.runtime.context.RunContext.ensure_arena`),
+closed and unlinked by ``RunContext.close()`` / the CLI ``finally``
+path, and backstopped by an ``atexit`` guard. A SIGKILLed owner leaks
+no segments either: creation registers each segment with the
+``multiprocessing`` resource tracker (a separate process), which
+unlinks everything still registered when its last client dies. Worker
+processes never register or unlink anything — attach uses a raw
+``shm_open`` + read-only ``mmap`` so a worker's exit cannot destroy
+segments the owner still serves.
+
+Modeled seconds are unaffected by any of this: the arena changes how
+bytes reach a worker, never what the worker computes (see
+docs/timing_model.md).
+"""
+
+from __future__ import annotations
+
+import atexit
+import mmap
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any
+
+import numpy as np
+
+#: Default size of one arena segment. Segments are few and large so
+#: worker-side attaches stay O(segments), not O(arrays); arrays larger
+#: than this get a dedicated segment.
+DEFAULT_CHUNK_BYTES = 32 << 20
+
+#: int64 alignment of every placement (numpy requires aligned access
+#: for zero-copy views; mmap bases are page-aligned already).
+_ALIGN = 8
+
+#: Per-process cache of attached segment buffers, ``name -> buffer``.
+#: The owner seeds it with its own (writable) segment buffers so
+#: ``ArrayRef.view()`` resolves without re-attaching; forked workers
+#: inherit those entries — and the mappings behind them — for free.
+_ATTACHED: dict[str, Any] = {}
+
+#: Keeps worker-side attachments (mmap or SharedMemory) alive for the
+#: lifetime of the process; views borrow their buffers.
+_ATTACHMENTS: list[Any] = []
+
+
+def _attach(segment: str) -> Any:
+    """The buffer of ``segment``, attaching read-only on first use.
+
+    The primary path maps the segment via ``shm_open`` + ``mmap``
+    directly, which keeps the ``multiprocessing`` resource tracker out
+    of worker processes entirely: a tracker registration made on
+    attach would either be cancelled (destroying the *owner's*
+    registration when the tracker is shared under ``fork``) or
+    honoured (unlinking a live segment when a spawn-mode worker
+    exits). The fallback — platforms without ``_posixshmem`` — uses
+    ``SharedMemory`` and immediately withdraws its registration.
+    """
+    buf = _ATTACHED.get(segment)
+    if buf is not None:
+        return buf
+    try:
+        import _posixshmem
+
+        fd = _posixshmem.shm_open("/" + segment, os.O_RDONLY, 0o600)
+        try:
+            size = os.fstat(fd).st_size
+            mapped = mmap.mmap(fd, size, prot=mmap.PROT_READ)
+        finally:
+            os.close(fd)
+        _ATTACHMENTS.append(mapped)
+        buf = memoryview(mapped)
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        shm = shared_memory.SharedMemory(name=segment)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+        _ATTACHMENTS.append(shm)
+        buf = shm.buf
+    _ATTACHED[segment] = buf
+    return buf
+
+
+@dataclass(frozen=True)
+class ArrayRef:
+    """A picklable handle to an ``int64`` array in a shared segment.
+
+    Crossing a process boundary costs the few dozen bytes of this
+    triple instead of the array payload; :meth:`view` reconstructs the
+    array as a read-only zero-copy view on either side.
+    """
+
+    segment: str
+    offset: int
+    shape: tuple[int, ...]
+
+    def __reduce__(self):
+        # Tuple-based pickling: descriptors carry dozens of refs per
+        # task, and the dataclass default (per-field state dict) is
+        # measurably slower on both ends of the pipe.
+        return (ArrayRef, (self.segment, self.offset, self.shape))
+
+    def view(self) -> np.ndarray:
+        # Hot path: called for every array of every dispatched
+        # partition, so stay at one ndarray construction with no
+        # intermediate frombuffer/reshape pair.
+        if not self.segment:
+            arr = np.empty(self.shape, dtype=np.int64)
+            arr.setflags(write=False)
+            return arr
+        buf = _ATTACHED.get(self.segment)
+        if buf is None:
+            buf = _attach(self.segment)
+        arr = np.ndarray(self.shape, np.int64, buf, self.offset)
+        # A view over a read-only mapping is already non-writable; the
+        # owner's own (writable) buffers need the explicit flag so no
+        # code path can mutate shared state behind another view.
+        arr.setflags(write=False)
+        return arr
+
+
+#: Per-process cache of loaded header blobs, ``(segment, offset) ->
+#: object``. Offsets are never reused within a segment, so the key is
+#: stable for the segment's lifetime; the cache is bounded by the
+#: number of distinct query/tree pairs an arena ever places (a
+#: handful), not by task count.
+_BLOB_CACHE: dict[tuple[str, int], Any] = {}
+
+
+@dataclass(frozen=True)
+class BlobRef:
+    """A picklable handle to a pickled object in a shared segment.
+
+    The execute stage places each partition batch's *shared* metadata
+    — the query graph and spanning tree, identical across every
+    partition of a run — into the arena exactly once and ships this
+    tiny triple per task instead. ``load()`` unpickles on first use
+    per process and caches, so a worker pays the metadata cost once
+    per run instead of once per partition.
+    """
+
+    segment: str
+    offset: int
+    length: int
+
+    def __reduce__(self):
+        return (BlobRef, (self.segment, self.offset, self.length))
+
+    def load(self) -> Any:
+        key = (self.segment, self.offset)
+        hit = _BLOB_CACHE.get(key)
+        if hit is None:
+            buf = _attach(self.segment)
+            hit = pickle.loads(
+                bytes(buf[self.offset:self.offset + self.length])
+            )
+            _BLOB_CACHE[key] = hit
+        return hit
+
+
+class CstArena:
+    """Bump allocator over owned shared-memory segments.
+
+    ``place`` copies an array into the arena once and returns its
+    :class:`ArrayRef`; ``descriptor_for`` memoizes whole-CST
+    descriptors by object identity, so re-dispatching the same
+    resident CST (serve batches, harness sweeps) places nothing new.
+    Only the creating process ever unlinks: ``close()`` in a forked
+    child is a no-op, and the resource tracker covers a SIGKILLed
+    owner.
+    """
+
+    def __init__(self, chunk_bytes: int = DEFAULT_CHUNK_BYTES) -> None:
+        self._chunk_bytes = max(int(chunk_bytes), _ALIGN)
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._cursor = 0
+        self._owner_pid = os.getpid()
+        #: ``id(cst) -> (cst, descriptor)``; the strong reference
+        #: prevents id reuse from aliasing two different CSTs.
+        self._descriptors: dict[int, tuple[Any, Any]] = {}
+        #: ``id(array) -> (array, ref)``: partitions emitted by
+        #: Algorithm 2 share their parent CST's unfiltered arrays by
+        #: reference (see ``cst/partition.py``), so each distinct
+        #: buffer is placed exactly once no matter how many partitions
+        #: carry it. Strong refs again guard against id reuse.
+        self._placed: dict[int, tuple[Any, ArrayRef]] = {}
+        #: ``(id(query), id(tree), tree_only) -> (query, tree, ref)``:
+        #: one pickled header blob per distinct query/tree pair, shared
+        #: by every partition descriptor of the run.
+        self._headers: dict[tuple[int, int, bool], tuple[Any, Any, BlobRef]] = {}
+        self.placed_bytes = 0
+        self.closed = False
+        _LIVE_ARENAS.append(self)
+
+    # -- allocation ----------------------------------------------------
+
+    def _grow(self, nbytes: int) -> None:
+        size = max(self._chunk_bytes, nbytes)
+        seg = shared_memory.SharedMemory(create=True, size=size)
+        self._segments.append(seg)
+        self._cursor = 0
+        _ATTACHED[seg.name] = seg.buf
+
+    def place(self, arr: np.ndarray) -> ArrayRef:
+        """Copy ``arr`` into the arena once; returns its
+        :class:`ArrayRef`. Placements are memoized by array identity,
+        so a buffer shared by many partitions occupies the arena once.
+        """
+        if self.closed:
+            raise RuntimeError("CstArena is closed")
+        key = id(arr)
+        hit = self._placed.get(key)
+        if hit is not None and hit[0] is arr:
+            return hit[1]
+        source = arr
+        arr = np.ascontiguousarray(arr, dtype=np.int64)
+        if arr.size == 0:
+            ref = ArrayRef("", 0, tuple(arr.shape))
+            self._placed[key] = (source, ref)
+            return ref
+        nbytes = arr.nbytes
+        pad = (-self._cursor) % _ALIGN
+        if (
+            not self._segments
+            or self._cursor + pad + nbytes > self._segments[-1].size
+        ):
+            self._grow(nbytes)
+            pad = 0
+        seg = self._segments[-1]
+        offset = self._cursor + pad
+        dst = np.frombuffer(
+            seg.buf, dtype=np.int64, count=arr.size, offset=offset
+        )
+        dst[:] = arr.ravel()
+        self._cursor = offset + nbytes
+        self.placed_bytes += nbytes
+        ref = ArrayRef(seg.name, offset, tuple(arr.shape))
+        self._placed[key] = (source, ref)
+        return ref
+
+    def _place_bytes(self, blob: bytes) -> BlobRef:
+        nbytes = len(blob)
+        pad = (-self._cursor) % _ALIGN
+        if (
+            not self._segments
+            or self._cursor + pad + nbytes > self._segments[-1].size
+        ):
+            self._grow(nbytes)
+            pad = 0
+        seg = self._segments[-1]
+        offset = self._cursor + pad
+        seg.buf[offset:offset + nbytes] = blob
+        self._cursor = offset + nbytes
+        self.placed_bytes += nbytes
+        return BlobRef(seg.name, offset, nbytes)
+
+    def header_for(self, cst: Any) -> BlobRef:
+        """The shared header blob (query, tree, tree_only) of ``cst``.
+
+        Memoized by query/tree identity: all partitions of one run
+        share their parent's query and tree objects, so the blob —
+        the dominant per-task pickle cost before this existed — is
+        placed once per run and referenced by every descriptor.
+        """
+        key = (id(cst.query), id(cst.tree), bool(cst.tree_only))
+        hit = self._headers.get(key)
+        if (
+            hit is not None
+            and hit[0] is cst.query
+            and hit[1] is cst.tree
+        ):
+            return hit[2]
+        if self.closed:
+            raise RuntimeError("CstArena is closed")
+        blob = pickle.dumps(
+            (cst.query, cst.tree, cst.tree_only),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        ref = self._place_bytes(blob)
+        self._headers[key] = (cst.query, cst.tree, ref)
+        return ref
+
+    def descriptor_for(self, cst: Any) -> Any:
+        """The (memoized) shared-memory descriptor of ``cst``."""
+        key = id(cst)
+        hit = self._descriptors.get(key)
+        if hit is not None and hit[0] is cst:
+            return hit[1]
+        desc = cst.to_descriptor(self)
+        self._descriptors[key] = (cst, desc)
+        return desc
+
+    # -- introspection ---------------------------------------------------
+
+    def segment_names(self) -> tuple[str, ...]:
+        return tuple(seg.name for seg in self._segments)
+
+    @property
+    def num_segments(self) -> int:
+        return len(self._segments)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every owned segment (idempotent; owner process only).
+
+        A forked worker inherits the arena object but must never
+        destroy the parent's segments, so ``close()`` away from the
+        owning pid only drops local references.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._descriptors.clear()
+        self._placed.clear()
+        self._headers.clear()
+        if self in _LIVE_ARENAS:
+            _LIVE_ARENAS.remove(self)
+        if os.getpid() != self._owner_pid:
+            self._segments = []
+            return
+        for seg in self._segments:
+            _ATTACHED.pop(seg.name, None)
+            try:
+                seg.close()
+            except BufferError:
+                # A live view still borrows the mapping. Drop our
+                # handles without closing — the mapping dies with the
+                # last view — and disarm ``__del__``, which would
+                # otherwise retry ``close()`` at gc time and raise the
+                # same BufferError unraisably.
+                try:
+                    if seg._fd >= 0:
+                        os.close(seg._fd)
+                        seg._fd = -1
+                    seg._buf = None
+                    seg._mmap = None
+                except (AttributeError, OSError):  # pragma: no cover
+                    pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass  # already unlinked (e.g. by the resource tracker)
+        self._segments = []
+
+
+#: Arenas not yet closed; the atexit guard sweeps them so an unhandled
+#: exception (or a test that forgets) cannot leak /dev/shm entries.
+_LIVE_ARENAS: list[CstArena] = []
+
+
+@atexit.register
+def _close_live_arenas() -> None:  # pragma: no cover - exit path
+    for arena in list(_LIVE_ARENAS):
+        try:
+            arena.close()
+        except Exception:
+            pass

@@ -32,7 +32,9 @@ modeled number is independent of cache state.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable
 
 from repro.common.errors import (
     PartitionError,
@@ -46,7 +48,7 @@ from repro.cst.partition import (
     partition_cst,
     partition_to_list,
 )
-from repro.cst.structure import CST, ENTRY_BYTES
+from repro.cst.structure import CST, CstDescriptor, ENTRY_BYTES
 from repro.cst.workload import estimate_workload
 from repro.fpga.config import FpgaConfig
 from repro.fpga.engine import FastEngine
@@ -67,7 +69,7 @@ from repro.runtime.executor import (
     Task,
     overlap_schedule,
 )
-from repro.runtime.faults import FAULT_ERRORS, FaultEvent
+from repro.runtime.faults import FAULT_ERRORS, FaultEvent, SupervisorCore
 from repro.runtime.journal import (
     counters_from_dict,
     counters_to_dict,
@@ -331,7 +333,7 @@ def schedule_stage(ctx: RunContext, work: ScheduledWork) -> ScheduledWork:
 
 
 def _attempt_partition(
-    ctx: RunContext,
+    core: SupervisorCore,
     engine: FastEngine,
     link: PcieLink,
     part: CST,
@@ -350,10 +352,12 @@ def _attempt_partition(
     ``None`` once the retry budget is exhausted (the caller walks the
     degradation ladder). Events are returned, not recorded, so the
     call is free of shared mutable state and safe under the execute
-    stage's worker pool; the caller records them in partition order.
+    stage's worker pool — threads and processes alike, since ``core``
+    is the picklable supervision bundle; the caller records them in
+    partition order.
     """
-    policy = ctx.retry_policy
-    fplan = ctx.fault_plan
+    policy = core.retry_policy
+    fplan = core.fault_plan
     fires = {
         kind: fplan.fires(kind, *scope) if fplan is not None else 0
         for kind in FAULT_ERRORS
@@ -394,8 +398,7 @@ def _attempt_partition(
                 return (None, pcie, overhead, backoff_total, events,
                         exc.kind)
             backoff = policy.backoff_seconds(
-                fplan.seed if fplan is not None else ctx.seed,
-                attempt, *scope,
+                core.backoff_seed, attempt, *scope,
             )
             events.append(FaultEvent(
                 kind=exc.kind, scope=scope, attempt=attempt,
@@ -409,12 +412,9 @@ def _attempt_partition(
 
 
 def _tightened_subpartitions(
-    ctx: RunContext,
-    data: Graph,
     part: CST,
     plan: StagePlan,
     limits: PartitionLimits,
-    scope: tuple,
 ) -> tuple[list[CST], PartitionStats] | None:
     """Re-split a failed partition under a halved ``delta_S``.
 
@@ -422,16 +422,18 @@ def _tightened_subpartitions(
     hitting watchdog-style faults gets another chance as several
     quicker launches. Returns ``None`` when the partition cannot be
     re-split (already minimal, or the tightened limits are infeasible).
+
+    Algorithm 2 is deterministic, so this runs uncached and free of
+    context state — which is what lets the whole ladder execute inside
+    a worker process. Ladder re-splits are rare (faults only), so the
+    lost memoization costs wall time on no happy path.
     """
     tightened = PartitionLimits(
         max_bytes=max(limits.max_bytes // 2, ENTRY_BYTES),
         max_degree=limits.max_degree,
     )
     try:
-        parts, stats, _ = cached_partition_list(
-            ctx, data, part, plan, tightened,
-            extra_key=("faults", *scope, part.size_bytes()),
-        )
+        parts, stats = partition_to_list(part, plan.order, tightened)
     except PartitionError:
         return None
     if len(parts) <= 1:
@@ -474,16 +476,23 @@ def _run_cpu_partition(
 
 
 def _supervise_partition(
-    ctx: RunContext,
-    data: Graph,
+    core: SupervisorCore,
     plan: StagePlan,
     limits: PartitionLimits | None,
-    engine_variant: str,
     collect_results: bool,
+    ladder_replay: dict,
     part: CST,
     idx: int,
+    journal_append: Callable[[dict], Any] | None = None,
 ) -> PartitionOutcome:
     """Degradation ladder for one FPGA partition, as a pool task.
+
+    Every input is picklable (``core`` is the extracted
+    :class:`~repro.runtime.faults.SupervisorCore`), so supervised
+    partitions run under thread *and process* pools alike — the old
+    silent thread-downgrade of ``--pool process`` is gone. Fault
+    decisions and backoff are pure in the seed and scope, so a worker
+    process reproduces the parent's schedule bit-identically.
 
     An explicit worklist replaces the old recursive ``supervise``
     closure, so arbitrarily deep re-partition ladders cannot hit
@@ -497,22 +506,23 @@ def _supervise_partition(
     in partition-index order.
 
     With a run journal active, each rung decision (retries exhausted →
-    re-partition or CPU fallback) is written ahead as a ``ladder``
-    record. A resumed run finds those records and *continues* the
-    ladder: the already-exhausted retry attempts are replayed from the
+    re-partition or CPU fallback) becomes a write-ahead ``ladder``
+    record: through ``journal_append`` the moment it is decided when
+    the task shares the parent's memory, or accumulated on
+    ``out.ladder_records`` and journaled by the parent just before the
+    partition record when the task runs in a worker process (the
+    journal's fd does not cross that boundary). Either way the record
+    precedes its partition record in the file, so a resumed run finds
+    the rungs of any partition that never completed and *continues*
+    the ladder: already-exhausted retry attempts are replayed from the
     journal (same charged backoff and wasted work, same fault events)
-    instead of being re-attempted.
+    instead of being re-attempted. ``ladder_replay`` carries those
+    records in (the parent reads the journal; workers must not).
     """
-    cfg = ctx.fpga
-    policy = ctx.retry_policy
-    engine = FastEngine(cfg, engine_variant,
-                        trace_modules=ctx.tracer.enabled)
-    link = PcieLink(cfg)
-    journal = ctx.journal
-    ladder_replay = (
-        journal.ladder_records()
-        if journal is not None and journal.resume else {}
-    )
+    policy = core.retry_policy
+    engine = FastEngine(core.fpga, core.engine_variant,
+                        trace_modules=core.trace_modules)
+    link = PcieLink(core.fpga)
     out = PartitionOutcome()
     stack: list[tuple[CST, tuple, bool]] = [(part, ("partition", idx), True)]
     while stack:
@@ -531,7 +541,7 @@ def _supervise_partition(
         else:
             report, pcie, overhead, backoff, events, last_kind = (
                 _attempt_partition(
-                    ctx, engine, link, cur, scope,
+                    core, engine, link, cur, scope,
                     plan.match_plan, collect_results,
                 )
             )
@@ -548,13 +558,12 @@ def _supervise_partition(
             continue
         split = None
         if may_repartition and limits is not None:
-            split = _tightened_subpartitions(
-                ctx, data, cur, plan, limits, scope
-            )
-        if journal is not None and journal.active and replayed is None:
-            # Write-ahead: the rung decision is durable before the
+            split = _tightened_subpartitions(cur, plan, limits)
+        if replayed is None:
+            # Write-ahead: the rung decision is durable (or queued for
+            # the parent's result-merge append) before the
             # re-partition/fallback work starts.
-            journal.append({
+            record = {
                 "type": "ladder",
                 "index": idx,
                 "scope": list(scope),
@@ -566,16 +575,18 @@ def _supervise_partition(
                 "overhead_seconds": overhead,
                 "backoff_wall_seconds": backoff,
                 "events": [e.to_dict() for e in events],
-            })
+            }
+            if journal_append is not None:
+                journal_append(record)
+            else:
+                out.ladder_records.append(record)
         if split is not None:
             subparts, stats = split
             out.events.append(FaultEvent(
                 kind=last_kind, scope=scope,
                 attempt=policy.max_retries, action="repartition",
             ))
-            host_cost = ctx.host_seconds(
-                stats.total_bytes // ENTRY_BYTES, data
-            )
+            host_cost = core.host_seconds(stats.total_bytes // ENTRY_BYTES)
             # Re-partitioning runs on the host, not the card: it is
             # part of the flat fault overhead but stays out of the
             # overlapped card timeline (tracked separately).
@@ -592,6 +603,49 @@ def _supervise_partition(
         out.segments.append((pcie, overhead))
         out.fallbacks.append(_run_cpu_partition(cur, plan.order))
     return out
+
+
+# -- shared-memory task wrappers ---------------------------------------
+#
+# Identical to their pickled counterparts except the CST crosses the
+# process boundary as a :class:`CstDescriptor` and is reconstructed as
+# read-only zero-copy views on the worker side. Module-level so they
+# pickle; behaviorally equivalent by the descriptor round-trip tests.
+
+
+def _run_fpga_partition_desc(
+    cfg: FpgaConfig,
+    variant: str,
+    desc: CstDescriptor,
+    match_plan: MatchPlan,
+    collect_results: bool,
+    trace_modules: bool = False,
+) -> KernelReport:
+    return _run_fpga_partition(
+        cfg, variant, CST.from_descriptor(desc), match_plan,
+        collect_results, trace_modules,
+    )
+
+
+def _run_cpu_partition_desc(
+    desc: CstDescriptor, order: tuple[int, ...]
+) -> tuple[list[tuple[int, ...]], CpuMatchCounters]:
+    return _run_cpu_partition(CST.from_descriptor(desc), order)
+
+
+def _supervise_partition_desc(
+    core: SupervisorCore,
+    plan: StagePlan,
+    limits: PartitionLimits | None,
+    collect_results: bool,
+    ladder_replay: dict,
+    desc: CstDescriptor,
+    idx: int,
+) -> PartitionOutcome:
+    return _supervise_partition(
+        core, plan, limits, collect_results, ladder_replay,
+        CST.from_descriptor(desc), idx,
+    )
 
 
 def execute_stage(
@@ -652,12 +706,23 @@ def execute_stage(
     q = plan.query
     exec_cfg = executor if executor is not None else ctx.executor
     supervised = ctx.fault_plan is not None
-    if supervised and exec_cfg.pool == "process":
-        # Supervised tasks close over the context (fault plan, cache
-        # lock), which does not pickle; they run under threads instead.
-        exec_cfg = replace(exec_cfg, pool="thread")
     pool = PartitionExecutor(exec_cfg)
     journal = ctx.journal
+    ladder_replay = (
+        journal.ladder_records()
+        if journal is not None and journal.resume else {}
+    )
+    core = SupervisorCore(
+        fpga=cfg,
+        engine_variant=engine_variant,
+        retry_policy=ctx.retry_policy,
+        fault_plan=ctx.fault_plan,
+        seed=ctx.seed,
+        trace_modules=ctx.tracer.enabled,
+        cpu_cost=ctx.cpu_cost,
+        avg_degree=data.average_degree(),
+        num_vertices=data.num_vertices,
+    ) if supervised else None
     with ctx.stage("execute") as st:
         link = PcieLink(cfg)
         kernel_total = KernelReport(
@@ -742,11 +807,63 @@ def execute_stage(
         # the calling thread and persist each outcome as it lands.
         pending_fpga = [i for i in range(n_fpga) if i not in outcomes]
         pending_cpu = [j for j in range(n_cpu) if j not in cpu_done]
+
+        # Zero-copy shared-memory CST plane: when partitions cross a
+        # process boundary, their backing arrays are registered once in
+        # a CstArena and tasks carry only (segment, offset, shape)
+        # descriptors — workers attach and rebuild read-only views,
+        # so dispatch cost is independent of partition size. Falls
+        # back to the legacy pickled handoff (with a warning) when
+        # shared memory is unavailable or disabled.
+        use_pool = (
+            exec_cfg.workers > 1 and len(pending_fpga) + len(pending_cpu) > 1
+        )
+        arena = None
+        cst_plane = "local"
+        if exec_cfg.pool == "process" and use_pool:
+            if exec_cfg.shm:
+                arena = ctx.ensure_arena()
+                if arena is None:
+                    warnings.warn(
+                        "shared-memory CST plane unavailable; process-pool"
+                        " tasks fall back to pickled CSTs",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+            cst_plane = "shm" if arena is not None else "pickle"
+
         if supervised:
-            fpga_tasks: list[Task] = [
-                (_supervise_partition,
-                 (ctx, data, plan, limits, engine_variant,
-                  collect_results, work.fpga_parts[i], i))
+            # Inline/thread supervisors share the parent's memory and
+            # journal each ladder rung write-ahead; process-pool
+            # supervisors cannot reach the journal fd, so rung records
+            # ride back on the outcome and the parent appends them in
+            # on_done — before the partition record, preserving order.
+            journal_append = (
+                journal.append
+                if journal is not None and journal.active
+                and not (exec_cfg.pool == "process" and use_pool)
+                else None
+            )
+            if arena is not None:
+                fpga_tasks: list[Task] = [
+                    (_supervise_partition_desc,
+                     (core, plan, limits, collect_results, ladder_replay,
+                      arena.descriptor_for(work.fpga_parts[i]), i))
+                    for i in pending_fpga
+                ]
+            else:
+                fpga_tasks = [
+                    (_supervise_partition,
+                     (core, plan, limits, collect_results, ladder_replay,
+                      work.fpga_parts[i], i, journal_append))
+                    for i in pending_fpga
+                ]
+        elif arena is not None:
+            fpga_tasks = [
+                (_run_fpga_partition_desc,
+                 (cfg, engine_variant,
+                  arena.descriptor_for(work.fpga_parts[i]), plan.match_plan,
+                  collect_results, ctx.tracer.enabled))
                 for i in pending_fpga
             ]
         else:
@@ -756,10 +873,17 @@ def execute_stage(
                   collect_results, ctx.tracer.enabled))
                 for i in pending_fpga
             ]
-        cpu_tasks: list[Task] = [
-            (_run_cpu_partition, (work.cpu_parts[j], plan.order))
-            for j in pending_cpu
-        ]
+        if arena is not None:
+            cpu_tasks: list[Task] = [
+                (_run_cpu_partition_desc,
+                 (arena.descriptor_for(work.cpu_parts[j]), plan.order))
+                for j in pending_cpu
+            ]
+        else:
+            cpu_tasks = [
+                (_run_cpu_partition, (work.cpu_parts[j], plan.order))
+                for j in pending_cpu
+            ]
 
         def on_done(pos: int, result: object) -> None:
             if pos < len(fpga_tasks):
@@ -778,6 +902,8 @@ def execute_stage(
                     )
                 outcomes[i] = out
                 if journal is not None:
+                    for rec in out.ladder_records:
+                        journal.append(rec)
                     journal.append(
                         outcome_to_record(i, out, collect_results)
                     )
@@ -949,6 +1075,8 @@ def execute_stage(
             workers=exec_cfg.workers,
             buffers=exec_cfg.buffers,
             pool=exec_cfg.pool,
+            executor_pool_effective=exec_cfg.pool,
+            cst_plane=cst_plane,
         )
         if journal is not None:
             st.note(

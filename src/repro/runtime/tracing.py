@@ -553,6 +553,23 @@ def metrics_to_prometheus(
 
     w.family("run_info", "gauge", "One labeled series per run.",
              [(base, 1.0)])
+    if "pool" in execute:
+        w.family(
+            "executor_info", "gauge",
+            "One labeled series describing execute-stage dispatch: the "
+            "requested and effective worker pool and the CST plane "
+            "(shm, pickle, or local) tasks crossed it on.",
+            [({
+                **base,
+                "pool": str(execute.get("pool", "")),
+                "pool_effective": str(
+                    execute.get("executor_pool_effective",
+                                execute.get("pool", ""))
+                ),
+                "cst_plane": str(execute.get("cst_plane", "local")),
+                "workers": str(execute.get("workers", 1)),
+            }, 1.0)],
+        )
     if "embeddings" in merge:
         w.family("embeddings_found", "counter",
                  "Embeddings found by this run.",

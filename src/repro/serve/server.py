@@ -61,6 +61,7 @@ from repro.ldbc.queries import get_query
 from repro.runtime.context import StageCache
 from repro.runtime.journal import DeviceHealthLedger
 from repro.runtime.registry import REGISTRY
+from repro.runtime.shm import CstArena
 from repro.runtime.tracing import WALL, Tracer, _PromWriter
 from repro.serve.admission import AdmissionController, CostEstimator
 from repro.serve.breaker import OPEN, CircuitBreaker
@@ -77,6 +78,13 @@ MANIFEST_NAME = "manifest.jsonl"
 #: Data graphs kept loaded at once (the stage cache bounds the CSTs
 #: built *on* them; this bounds the graphs themselves).
 DATASET_RESIDENCY = 4
+
+#: Recycle the server's shared-memory CST arena once this many placed
+#: bytes accumulate. A long-lived process-pool server reuses one arena
+#: across coalesced batches (resident CSTs keep their descriptors, so
+#: repeat batches place nothing new); the cap bounds /dev/shm growth
+#: from dataset churn — recycling just re-places on the next batch.
+ARENA_RECYCLE_BYTES = 256 << 20
 
 
 @dataclass(frozen=True)
@@ -253,6 +261,7 @@ class MatchServer:
         #: (job, admission decision, reserved estimate, resume path).
         self._queue: list[tuple[JobRequest, str, float, str | None]] = []
         self._seq = 0
+        self._arena: CstArena | None = None
         self._manifest_fd: int | None = None
         self._recovered: list[tuple[JobRequest, str | None]] = []
         if cfg.state_dir is not None:
@@ -343,6 +352,9 @@ class MatchServer:
         if self._manifest_fd is not None:
             os.close(self._manifest_fd)
             self._manifest_fd = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     # -- admission / queueing ------------------------------------------
 
@@ -482,11 +494,43 @@ class MatchServer:
             deadline_s=job.deadline_s,
         )
 
+    def _shared_arena(self) -> CstArena | None:
+        """The server's long-lived CST arena (process-pool mode only).
+
+        One arena spans every job and batch, so a resident CST's
+        shared-memory descriptors are placed once and reused by every
+        coalesced batch that hits the stage cache. Recycled (unlinked
+        and re-created) once :data:`ARENA_RECYCLE_BYTES` accumulate —
+        safe between jobs, since the server runs batches serially.
+        """
+        harness = self.config.harness
+        if (
+            harness.pool != "process"
+            or harness.workers <= 1
+            or not harness.shm
+        ):
+            return None
+        if self._arena is not None and not self._arena.closed:
+            if self._arena.placed_bytes <= ARENA_RECYCLE_BYTES:
+                return self._arena
+            self._arena.close()
+            self._arena = None
+        try:
+            self._arena = CstArena()
+        except OSError:
+            self._arena = None
+        return self._arena
+
     def _make_context(self, harness_cfg: HarnessConfig):
         ctx = make_context(harness_cfg, cache=self.cache)
         if self.ledger is not None:
             ctx.health_ledger = self.ledger
         ctx.breaker = self.breaker
+        arena = self._shared_arena()
+        if arena is not None:
+            # Injected, not owned: the job context must not unlink the
+            # server's arena when it closes (RunContext.close()).
+            ctx.arena = arena
         if self.tracer.enabled:
             ctx.tracer = self.tracer
         return ctx
@@ -614,8 +658,10 @@ class MatchServer:
                         degraded_reason=degraded_reason,
                     )
             finally:
-                if ctx.journal is not None:
-                    ctx.journal.close()
+                # Closes the job journal; an arena the job context
+                # created for itself is unlinked too, while the
+                # server's injected shared arena is left alone.
+                ctx.close()
         assert response is not None
         if self.tracer.enabled:
             self.tracer.span(

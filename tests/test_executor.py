@@ -209,16 +209,23 @@ class TestWorkerDeterminism:
         assert forked.embeddings == threaded.embeddings
         assert forked.seconds == threaded.seconds
 
-    @pytest.mark.parametrize("seed", [3])
-    def test_supervised_run_downgrades_process_pool(self, seed, dataset):
-        """A fault plan forces thread workers (context isn't picklable);
-        the run still succeeds and matches serial."""
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_supervised_process_pool_runs_natively(self, seed, dataset):
+        """A fault plan no longer downgrades ``--pool process``: the
+        supervised ladder runs inside worker processes over the
+        shared-memory CST plane and matches serial bit-identically,
+        health record included."""
         kwargs = dict(fault_plan=FaultPlan(seed=seed))
-        serial = run_backend("fast-share", dataset, **kwargs)
-        forked = run_backend("fast-share", dataset, workers=2,
+        serial = run_backend("fast-share", dataset, "q2", **kwargs)
+        forked = run_backend("fast-share", dataset, "q2", workers=2,
                              pool="process", **kwargs)
         assert forked.embeddings == serial.embeddings
         assert forked.seconds == serial.seconds
+        assert forked.health == serial.health
+        execute = forked.metrics["stages"]["execute"]
+        assert execute["pool"] == "process"
+        assert execute["executor_pool_effective"] == "process"
+        assert execute["cst_plane"] == "shm"
 
     def test_cpu_share_partitions_go_through_the_pool(self):
         """A high delta routes a real CPU share; modeled seconds stay
