@@ -111,6 +111,12 @@ def _add_fault_flags(parser: argparse.ArgumentParser) -> None:
                         metavar="N",
                         help="transient-fault retry budget per "
                              "partition (default: 3)")
+    parser.add_argument("--host-fault-seed", type=int, default=None,
+                        metavar="SEED",
+                        help="inject deterministic HOST faults (worker "
+                             "kills/stalls/shm loss) into the warm "
+                             "process pool from this seed; wall-clock "
+                             "only (docs/robustness.md)")
 
 
 def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
@@ -131,6 +137,25 @@ def _add_executor_flags(parser: argparse.ArgumentParser) -> None:
                         help="disable the zero-copy shared-memory CST "
                              "plane for --pool process (partitions are "
                              "then pickled per task; wall-clock only)")
+    parser.add_argument("--task-chunk", type=int, default=1, metavar="N",
+                        help="consecutive partitions grouped into one "
+                             "warm-pool dispatch (cuts dispatch "
+                             "overhead on long partition streams; "
+                             "default: 1)")
+    parser.add_argument("--pool-ttl", type=int, default=0, metavar="N",
+                        help="tasks a warm pool worker serves before "
+                             "it is recycled (0 = never; default: 0)")
+    parser.add_argument("--pool-watchdog", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="wall-clock silence budget before an "
+                             "in-flight warm-pool dispatch is hedged "
+                             "(stall-kill at twice this; 0 disables; "
+                             "default: 30)")
+    parser.add_argument("--cold-pool", action="store_true",
+                        help="fork a fresh process pool per execute "
+                             "stage instead of reusing the warm "
+                             "supervised pool (the legacy baseline; "
+                             "wall-clock only)")
     parser.add_argument("--cache-max-entries", type=int, default=256,
                         metavar="N",
                         help="bound on resident stage-cache entries "
@@ -188,6 +213,11 @@ def _harness_config(args: argparse.Namespace, **kwargs) -> HarnessConfig:
         buffers=args.buffers,
         pool=getattr(args, "pool", "thread"),
         shm=not getattr(args, "no_shm", False),
+        warm_pool=not getattr(args, "cold_pool", False),
+        task_chunk=getattr(args, "task_chunk", 1),
+        pool_ttl=getattr(args, "pool_ttl", 0),
+        pool_watchdog_s=getattr(args, "pool_watchdog", 30.0),
+        host_fault_seed=getattr(args, "host_fault_seed", None),
         cache_max_entries=getattr(args, "cache_max_entries", 256),
         journal_path=getattr(args, "journal", None),
         resume_path=getattr(args, "resume", None),

@@ -90,6 +90,32 @@ class FatalDeviceError(DeviceError):
     """No recovery path remains (e.g. every device in a pool died)."""
 
 
+class WorkerCrashError(ReproError):
+    """A host worker process died while partition tasks were in flight.
+
+    This is a *host* fault (OOM kill, segfault, operator ``kill -9``),
+    not a modeled device fault: it changes wall-clock time only, never
+    counts or modeled seconds. The supervised worker pool
+    (:mod:`repro.runtime.pool`) respawns the worker and re-dispatches
+    the lost tasks; the legacy ``ProcessPoolExecutor`` path re-runs
+    them inline serially once. Only when those recoveries themselves
+    fail does this error propagate.
+    """
+
+    transient = True
+
+
+class WorkerShmLost(WorkerCrashError):
+    """A worker lost its view of the shared-memory CST plane.
+
+    The segment a task's descriptors point at is gone from the
+    worker's perspective (unlinked externally, or injected via the
+    host-fault plane). The pool re-dispatches the task with a pickled
+    CST payload so the run completes bit-identically; the error
+    propagates only when no pickled fallback is available.
+    """
+
+
 class SchedulerError(ReproError):
     """The host-side workload scheduler was misconfigured."""
 

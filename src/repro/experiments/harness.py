@@ -32,7 +32,7 @@ from repro.ldbc.generator import LdbcDataset
 from repro.ldbc.queries import BenchmarkQuery, all_queries, get_query
 from repro.runtime.context import CancellationToken, RunContext, StageCache
 from repro.runtime.executor import ExecutorConfig
-from repro.runtime.faults import FaultPlan, RetryPolicy
+from repro.runtime.faults import FaultPlan, HostFaultPlan, RetryPolicy
 from repro.runtime.journal import DeviceHealthLedger, RunJournal
 from repro.runtime.registry import REGISTRY
 from repro.runtime.tracing import Tracer
@@ -77,6 +77,27 @@ class HarnessConfig:
     #: Whether process-pool dispatch may use the zero-copy shared-
     #: memory CST plane (wall-clock only; off = legacy pickled handoff).
     shm: bool = True
+    #: Whether ``pool="process"`` runs through the warm supervised
+    #: worker pool (workers forked once per context, host faults
+    #: recovered). Off = a cold ``ProcessPoolExecutor`` per execute
+    #: stage, the pre-pool baseline. Wall-clock only.
+    warm_pool: bool = True
+    #: Consecutive partitions grouped into one warm-pool dispatch
+    #: (``--task-chunk``; 1 = one task per partition).
+    task_chunk: int = 1
+    #: Tasks a warm worker serves before recycling (``--pool-ttl``;
+    #: 0 = never).
+    pool_ttl: int = 0
+    #: Warm-pool watchdog seconds before an in-flight dispatch is
+    #: hedged (``--pool-watchdog``; 0 disables).
+    pool_watchdog_s: float = 30.0
+    #: Seed of the injected *host*-fault schedule (worker kills,
+    #: stalls, shm loss at deterministic task indices); ``None`` runs
+    #: host-fault free. Wall-clock only: counts, modeled seconds, and
+    #: fingerprints are identical at any setting.
+    host_fault_seed: int | None = None
+    #: Per-kind host-fault rates overriding the plan's defaults.
+    host_fault_rates: tuple[tuple[str, float], ...] | None = None
     #: Bound on live stage-cache entries (LRU-evicted beyond this).
     cache_max_entries: int = 256
     #: Write a crash-safe run journal here (see docs/robustness.md).
@@ -177,6 +198,18 @@ def make_context(
                 if config.fault_rates is not None else None
             ),
         )
+    host_fault_plan = None
+    if (
+        config.host_fault_seed is not None
+        or config.host_fault_rates is not None
+    ):
+        host_fault_plan = HostFaultPlan(
+            seed=config.host_fault_seed or 0,
+            rates=(
+                dict(config.host_fault_rates)
+                if config.host_fault_rates is not None else None
+            ),
+        )
     retry_policy = (
         RetryPolicy() if config.max_retries is None
         else RetryPolicy(max_retries=config.max_retries)
@@ -223,7 +256,12 @@ def make_context(
             buffers=config.buffers,
             pool=config.pool,
             shm=config.shm,
+            warm=config.warm_pool,
+            task_chunk=config.task_chunk,
+            pool_ttl=config.pool_ttl,
+            watchdog_s=config.pool_watchdog_s,
         ),
+        host_fault_plan=host_fault_plan,
         journal=journal,
         health_ledger=health_ledger,
         cache=cache,

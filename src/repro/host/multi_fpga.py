@@ -427,9 +427,11 @@ class MultiFpgaRunner:
                     device.num_csts = 0
             # Device queues are independent (Definition 2), so they
             # dispatch through the worker pool as one task per device
-            # and merge back in device-index order.
+            # and merge back in device-index order. The warm
+            # supervised pool (when the context carries one) makes a
+            # worker crash mid-queue a recoverable event.
             exec_cfg = ctx.executor
-            pool = PartitionExecutor(exec_cfg)
+            pool = PartitionExecutor(exec_cfg, warm=ctx.ensure_pool())
             active = [d for d in devices if assignment[d.index]]
 
             # Crash safety: each completed device queue is one durable
@@ -529,7 +531,26 @@ class MultiFpgaRunner:
                         "fetch_seconds": fetch,
                     })
 
-            pool.run(tasks, on_result=on_device_done)
+            def pickled_device_fallback(pos: int) -> Task:
+                # A worker lost the shm plane mid-queue: re-dispatch
+                # that device's queue with pickled CSTs (same pure
+                # computation, bit-identical result).
+                d = pending[pos]
+                return (_run_device,
+                        (configs[d.index], self.variant,
+                         assignment[d.index], plan.match_plan,
+                         q.num_vertices, ctx.tracer.enabled))
+
+            pool.run(
+                tasks,
+                on_result=on_device_done,
+                uses_shm=(
+                    [True] * len(tasks) if arena is not None else None
+                ),
+                fallback=(
+                    pickled_device_fallback if arena is not None else None
+                ),
+            )
 
             tracer = ctx.tracer
             device_seconds: list[float] = []

@@ -29,8 +29,14 @@ from repro.fpga.catalog import DeviceSpec
 from repro.fpga.config import FpgaConfig
 from repro.graph.graph import Graph
 from repro.runtime.executor import ExecutorConfig
-from repro.runtime.faults import FaultPlan, HealthReport, RetryPolicy
+from repro.runtime.faults import (
+    FaultPlan,
+    HealthReport,
+    HostFaultPlan,
+    RetryPolicy,
+)
 from repro.runtime.journal import DeviceHealthLedger, RunJournal
+from repro.runtime.pool import PoolConfig, WorkerPool
 from repro.runtime.shm import CstArena
 from repro.runtime.tracing import MODELED, WALL, Tracer
 
@@ -337,6 +343,19 @@ class RunContext:
     #: Whether :meth:`close` owns ``arena`` (set by ``ensure_arena``;
     #: injected arenas stay owned by their creator).
     arena_owned: bool = field(default=False, repr=False)
+    #: Warm supervised worker pool for ``--pool process`` dispatch
+    #: (:mod:`repro.runtime.pool`). Created lazily by
+    #: :meth:`ensure_pool`; the serving layer injects one shared pool
+    #: into every job context so workers survive across batches, in
+    #: which case this context never closes it. Wall-clock only.
+    worker_pool: WorkerPool | None = None
+    #: Whether :meth:`close` owns ``worker_pool`` (mirrors
+    #: ``arena_owned``).
+    worker_pool_owned: bool = field(default=False, repr=False)
+    #: Injected *host* fault schedule (worker kills/stalls/shm loss)
+    #: applied by the warm pool's workers; ``None`` runs host-fault
+    #: free. Strictly wall-clock: never part of fingerprints.
+    host_fault_plan: HostFaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.device is not None:
@@ -446,16 +465,48 @@ class RunContext:
         self.arena_owned = True
         return self.arena
 
+    def ensure_pool(self) -> WorkerPool | None:
+        """The warm supervised worker pool, created on first use.
+
+        Returns ``None`` when the executor config does not call for
+        one (serial runs, thread pools, or ``warm=False`` — the cold
+        per-stage ``ProcessPoolExecutor`` baseline). Created after
+        :meth:`ensure_arena` on the execute path, so freshly forked
+        workers inherit the arena's attachments; segments placed
+        later are attached on demand inside the workers.
+        """
+        cfg = self.executor
+        if cfg.pool != "process" or cfg.workers <= 1 or not cfg.warm:
+            return None
+        if self.worker_pool is not None:
+            return self.worker_pool
+        try:
+            self.worker_pool = WorkerPool(PoolConfig(
+                workers=cfg.workers,
+                ttl=cfg.pool_ttl,
+                chunk=cfg.task_chunk,
+                watchdog_s=cfg.watchdog_s,
+                host_faults=self.host_fault_plan,
+            ))
+        except OSError:  # pragma: no cover - fork unavailable
+            self.worker_pool = None
+            return None
+        self.worker_pool_owned = True
+        return self.worker_pool
+
     def close(self) -> None:
         """Release owned resources (idempotent).
 
-        Closes the journal and unlinks the arena's shared-memory
-        segments — but only an arena this context created itself; an
-        injected (serving-layer) arena outlives the job context that
-        borrowed it.
+        Closes the journal, stops an owned worker pool, and unlinks
+        an owned arena's shared-memory segments — but only resources
+        this context created itself; injected (serving-layer) pools
+        and arenas outlive the job context that borrowed them.
         """
         if self.journal is not None:
             self.journal.close()
+        if self.worker_pool is not None and self.worker_pool_owned:
+            self.worker_pool.close()
+            self.worker_pool = None
         if self.arena is not None and self.arena_owned:
             self.arena.close()
             self.arena = None

@@ -42,6 +42,7 @@ two knobs are deliberately orthogonal.
 from __future__ import annotations
 
 from concurrent.futures import (
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
@@ -49,35 +50,36 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
-from repro.common.errors import DeviceError
-
-#: A unit of work for :meth:`PartitionExecutor.run`: ``(fn, args)``.
-#: Process pools additionally require ``fn`` to be a module-level
-#: function and every argument to be picklable.
-Task = tuple[Callable[..., Any], tuple]
+from repro.common.errors import DeviceError, WorkerCrashError
+from repro.runtime.pool import Task, install_parent_death_tether
 
 #: Recognised pool implementations.
 POOL_MODES = ("thread", "process")
 
+__all__ = [
+    "ExecutorConfig",
+    "PartitionExecutor",
+    "PartitionOutcome",
+    "Task",
+    "overlap_schedule",
+    "overlap_timeline",
+]
+
 
 def _process_worker_init() -> None:  # pragma: no cover - worker side
-    """Tie each pool worker's lifetime to its parent (Linux).
+    """Tie each pool worker's lifetime to its parent.
 
     A SIGKILLed parent (the crash-injection tests, a real OOM kill)
     must not leave orphaned workers behind: they would pin the
     ``multiprocessing`` resource tracker's pipe open and delay the
-    cleanup of shared-memory segments indefinitely. ``PR_SET_PDEATHSIG``
-    delivers SIGKILL to the worker the moment its parent dies; on
-    platforms without ``prctl`` this is a silent no-op (workers then
-    exit with the pool as before).
+    cleanup of shared-memory segments indefinitely. On Linux,
+    ``PR_SET_PDEATHSIG`` delivers SIGKILL to the worker the moment
+    its parent dies; elsewhere (or if ``prctl`` fails) a parent-pid
+    polling thread makes orphans self-exit, so the tether is never a
+    silent no-op.
     """
     try:
-        import ctypes
-        import signal
-
-        PR_SET_PDEATHSIG = 1
-        libc = ctypes.CDLL(None, use_errno=True)
-        libc.prctl(PR_SET_PDEATHSIG, int(signal.SIGKILL))
+        install_parent_death_tether()
     except Exception:
         pass
 
@@ -103,6 +105,23 @@ class ExecutorConfig:
     #: as a benchmark baseline and an escape hatch. Wall-clock only:
     #: modeled seconds, counts, and fingerprints ignore this knob.
     shm: bool = True
+    #: Whether ``pool="process"`` dispatch goes through the warm
+    #: supervised :class:`~repro.runtime.pool.WorkerPool` owned by the
+    #: run context (workers forked once, reused across stages and
+    #: serve batches, host faults recovered). Off, each run forks a
+    #: fresh ``ProcessPoolExecutor`` — the cold baseline the warm-pool
+    #: benchmark gates against.
+    warm: bool = True
+    #: Consecutive partitions grouped into one dispatch unit of the
+    #: warm pool (1 = one task per partition). Cuts per-task dispatch
+    #: overhead on long partition streams.
+    task_chunk: int = 1
+    #: Tasks a warm worker serves before it is recycled (0 = never).
+    pool_ttl: int = 0
+    #: Wall-clock silence budget (seconds) before an in-flight warm-
+    #: pool dispatch is hedged; a worker silent past twice this is
+    #: killed and respawned. 0 disables the watchdog.
+    watchdog_s: float = 30.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -113,6 +132,12 @@ class ExecutorConfig:
             raise DeviceError(
                 f"unknown pool mode {self.pool!r}; choose from {POOL_MODES}"
             )
+        if self.task_chunk < 1:
+            raise DeviceError("executor task_chunk must be >= 1")
+        if self.pool_ttl < 0:
+            raise DeviceError("executor pool_ttl must be >= 0")
+        if self.watchdog_s < 0.0:
+            raise DeviceError("executor watchdog_s must be >= 0")
 
 
 def overlap_schedule(
@@ -209,16 +234,29 @@ class PartitionExecutor:
     ``run`` executes every task and returns their results in the order
     the tasks were given, independent of completion order. With
     ``workers = 1`` (or a single task) tasks run inline on the calling
-    thread, which is the exact pre-pool serial behavior.
+    thread, which is the exact pre-pool serial behavior. When a warm
+    supervised :class:`~repro.runtime.pool.WorkerPool` is provided,
+    ``pool="process"`` dispatch goes through it instead of forking a
+    fresh ``ProcessPoolExecutor`` — and worker death, stalls, and shm
+    loss become recoverable events rather than crashes.
     """
 
-    def __init__(self, config: ExecutorConfig | None = None) -> None:
+    def __init__(
+        self,
+        config: ExecutorConfig | None = None,
+        warm: Any | None = None,
+    ) -> None:
         self.config = config or ExecutorConfig()
+        #: Optional :class:`~repro.runtime.pool.WorkerPool` to reuse
+        #: (owned by the run context / serve layer, not by us).
+        self.warm = warm
 
     def run(
         self,
         tasks: Sequence[Task],
         on_result: Callable[[int, Any], None] | None = None,
+        uses_shm: Sequence[bool] | None = None,
+        fallback: Callable[[int], Task] | None = None,
     ) -> list[Any]:
         """Execute ``tasks``; results are returned in task order.
 
@@ -227,7 +265,10 @@ class PartitionExecutor:
         run journal hooks to persist outcomes the moment they exist —
         a crash loses at most the in-flight partitions. Callbacks run
         on the caller's side of any process pool, so they may close
-        over unpicklable state.
+        over unpicklable state. ``uses_shm`` and ``fallback`` describe
+        shared-memory tasks to the warm pool's shm-loss recovery (see
+        :meth:`repro.runtime.pool.WorkerPool.run`); the thread and
+        legacy process paths ignore them.
         """
         cfg = self.config
         if cfg.workers <= 1 or len(tasks) <= 1:
@@ -238,6 +279,10 @@ class PartitionExecutor:
                     on_result(i, result)
                 results.append(result)
             return results
+        if self.warm is not None and cfg.pool == "process":
+            return self.warm.run(
+                tasks, on_result, uses_shm=uses_shm, fallback=fallback
+            )
         workers = min(cfg.workers, len(tasks))
         if cfg.pool == "process":
             pool_ctx: Any = ProcessPoolExecutor(
@@ -247,11 +292,63 @@ class PartitionExecutor:
             pool_ctx = ThreadPoolExecutor(max_workers=workers)
         with pool_ctx as pool:
             futures = [pool.submit(fn, *args) for fn, args in tasks]
-            if on_result is not None:
+            results = [None] * len(tasks)
+            delivered = [False] * len(tasks)
+
+            def deliver(i: int, value: Any) -> None:
+                results[i] = value
+                delivered[i] = True
+                if on_result is not None:
+                    on_result(i, value)
+
+            try:
                 index_of = {id(f): i for i, f in enumerate(futures)}
                 for f in as_completed(futures):
-                    on_result(index_of[id(f)], f.result())
-            return [f.result() for f in futures]
+                    deliver(index_of[id(f)], f.result())
+            except BrokenExecutor as crash:
+                self._rerun_lost(tasks, futures, delivered, deliver,
+                                 crash)
+            return results
+
+    @staticmethod
+    def _rerun_lost(
+        tasks: Sequence[Task],
+        futures: Sequence[Any],
+        delivered: Sequence[bool],
+        deliver: Callable[[int, Any], None],
+        crash: BaseException,
+    ) -> None:
+        """Recover a broken ``ProcessPoolExecutor`` run.
+
+        A worker died (OOM kill, segfault, operator ``kill -9``) and
+        the executor marked itself broken, cancelling everything in
+        flight. Salvage the futures that did finish, then re-run the
+        lost tasks inline serially — once. Tasks are pure, so the
+        inline results are bit-identical to what the workers would
+        have produced; only wall-clock time changes. A failure during
+        the re-run surfaces as a typed transient
+        :class:`~repro.common.errors.WorkerCrashError`.
+        """
+        for i, f in enumerate(futures):
+            if delivered[i] or not f.done() or f.cancelled():
+                continue
+            exc = f.exception()
+            if exc is None:
+                deliver(i, f.result())
+            elif not isinstance(exc, BrokenExecutor):
+                # The task itself failed before the pool broke;
+                # propagate its own error exactly as before.
+                raise exc
+        for i, (fn, args) in enumerate(tasks):
+            if delivered[i]:
+                continue
+            try:
+                deliver(i, fn(*args))
+            except Exception as exc:
+                raise WorkerCrashError(
+                    f"worker pool broke ({crash!r}) and task {i} "
+                    f"failed during the inline re-run: {exc!r}"
+                ) from exc
 
     def map(
         self, fn: Callable[..., Any], args_list: Sequence[tuple]

@@ -81,6 +81,22 @@ DEFAULT_RATES: dict[str, float] = {
     DEVICE_DEAD: 0.0,
 }
 
+#: Host-level fault kinds the supervised worker pool understands.
+#: Unlike :data:`FAULT_KINDS` these live strictly in the wall-clock
+#: domain: a killed, stalled, or shm-blinded worker changes how long
+#: the run takes, never what it computes — embedding counts, modeled
+#: seconds, and fingerprints are identical at any host-fault setting.
+HOST_FAULT_KINDS = ("worker_kill", "worker_stall", "shm_unlink")
+
+#: Rates used by ``HostFaultPlan(seed)`` when none are given — a
+#: hostile-but-survivable host (a few percent of tasks kill, stall,
+#: or blind their worker).
+HOST_DEFAULT_RATES: dict[str, float] = {
+    "worker_kill": 0.08,
+    "worker_stall": 0.04,
+    "shm_unlink": 0.04,
+}
+
 _U64 = float(2**64)
 
 
@@ -159,6 +175,105 @@ class FaultPlan:
     @property
     def enabled(self) -> bool:
         return bool(self.dead_devices) or any(
+            r > 0.0 for r in self.rates.values()
+        )
+
+
+@dataclass(frozen=True)
+class HostFaultPlan:
+    """Seedable, order-independent schedule of injected *host* faults.
+
+    The worker-pool analogue of :class:`FaultPlan`: decisions are pure
+    functions of ``(seed, kind, task_index)`` via the same SHA-256
+    seed derivation, so a plan is deterministic and independent of
+    which worker picks which task up. The plan is pickled to every
+    pool worker at spawn; injection happens *inside* the worker, so an
+    injected ``worker_kill`` is a genuine ``SIGKILL`` of a real worker
+    process at a deterministic task index — the supervision path it
+    exercises is exactly the one a real OOM kill takes.
+
+    Kinds (see :data:`HOST_FAULT_KINDS`):
+
+    ``worker_kill``
+        The worker SIGKILLs itself before running the task.
+    ``worker_stall``
+        The worker sleeps ``stall_seconds`` before the task, tripping
+        the pool's wall-clock watchdog (hedge, then stall-kill).
+    ``shm_unlink``
+        The worker drops its shared-memory attachments and reports the
+        task's CST segment as lost; only fires for tasks that actually
+        ride the shm plane.
+
+    ``targets`` pins explicit faults regardless of rates:
+    ``{kind: {task_index: burst}}`` — burst ``b`` means dispatch
+    attempts ``0 .. b-1`` fault and attempt ``b`` is clean, the same
+    burst semantics as :meth:`FaultPlan.fires`.
+    """
+
+    seed: int = 0
+    rates: Mapping[str, float] | None = None
+    max_consecutive: int = 2
+    targets: Any = None
+    #: How long an injected stall sleeps. Far past any watchdog so the
+    #: pool's hedge/stall-kill path — not the sleep expiring — is what
+    #: recovers the task.
+    stall_seconds: float = 3600.0
+
+    def __post_init__(self) -> None:
+        if self.rates is None:
+            object.__setattr__(self, "rates", dict(HOST_DEFAULT_RATES))
+        unknown = set(self.rates) - set(HOST_FAULT_KINDS)
+        if unknown:
+            raise ValueError(f"unknown host fault kinds: {sorted(unknown)}")
+        if self.max_consecutive < 1:
+            raise ValueError("max_consecutive must be >= 1")
+        if self.stall_seconds <= 0.0:
+            raise ValueError("stall_seconds must be > 0")
+        targets = self.targets or {}
+        unknown = set(targets) - set(HOST_FAULT_KINDS)
+        if unknown:
+            raise ValueError(
+                f"unknown host fault targets: {sorted(unknown)}"
+            )
+        # Normalize to nested tuples: frozen, hashable, picklable.
+        object.__setattr__(self, "targets", tuple(
+            (kind, tuple(sorted(
+                (int(i), int(b)) for i, b in dict(hits).items()
+            )))
+            for kind, hits in sorted(dict(targets).items())
+        ))
+
+    def _uniform(self, *scope: object) -> float:
+        return derive_seed(self.seed, "host", *scope) / _U64
+
+    def fires(self, kind: str, task_index: int) -> int:
+        """Consecutive dispatch attempts on which ``kind`` fires.
+
+        Returns 0 when the fault does not occur for this task index;
+        otherwise the burst length ``b`` means attempts ``0 .. b-1``
+        fault and attempt ``b`` is clean. Pure in
+        ``(seed, kind, task_index)``.
+        """
+        for target_kind, hits in self.targets:
+            if target_kind != kind:
+                continue
+            for index, burst in hits:
+                if index == task_index:
+                    return burst
+        rate = self.rates.get(kind, 0.0)
+        if rate <= 0.0:
+            return 0
+        if self._uniform("fault", kind, task_index) >= rate:
+            return 0
+        burst = 1 + int(
+            self._uniform("burst", kind, task_index)
+            * self.max_consecutive
+        )
+        return min(burst, self.max_consecutive)
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.targets) or any(
             r > 0.0 for r in self.rates.values()
         )
 

@@ -32,6 +32,7 @@ modeled number is independent of cache state.
 
 from __future__ import annotations
 
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable
@@ -80,6 +81,7 @@ from repro.runtime.journal import (
 )
 from repro.runtime.tracing import (
     MODELED,
+    WALL,
     device_lane_prefix,
     trace_device_lanes,
 )
@@ -706,7 +708,6 @@ def execute_stage(
     q = plan.query
     exec_cfg = executor if executor is not None else ctx.executor
     supervised = ctx.fault_plan is not None
-    pool = PartitionExecutor(exec_cfg)
     journal = ctx.journal
     ladder_replay = (
         journal.ladder_records()
@@ -831,6 +832,22 @@ def execute_stage(
                         stacklevel=2,
                     )
             cst_plane = "shm" if arena is not None else "pickle"
+        # Warm supervised worker pool: forked once on the context and
+        # reused across execute stages (and serve batches), with
+        # worker death / stalls / shm loss recovered instead of
+        # crashing the run. Created *after* the arena so fresh workers
+        # inherit its attachments. An explicit ``executor`` override
+        # that differs from the context's config keeps the legacy
+        # per-stage pool — the context's pool was sized for its own
+        # config.
+        warm = None
+        if (
+            exec_cfg.pool == "process" and use_pool
+            and exec_cfg == ctx.executor
+        ):
+            warm = ctx.ensure_pool()
+        pool = PartitionExecutor(exec_cfg, warm=warm)
+        pool_stats0 = warm.stats.to_dict() if warm is not None else None
 
         if supervised:
             # Inline/thread supervisors share the parent's memory and
@@ -924,7 +941,37 @@ def execute_stage(
                         ),
                     })
 
-        pool.run([*fpga_tasks, *cpu_tasks], on_result=on_done)
+        def pickled_fallback(pos: int) -> Task:
+            """Rebuild task ``pos`` with a pickled CST payload.
+
+            Used by the warm pool when a worker reports the task's
+            shared-memory segment lost: the same pure computation,
+            minus the shm plane, so results stay bit-identical.
+            """
+            if pos < len(fpga_tasks):
+                i = pending_fpga[pos]
+                if supervised:
+                    # Process-boundary supervisors never journal
+                    # directly; rung records ride on the outcome.
+                    return (_supervise_partition,
+                            (core, plan, limits, collect_results,
+                             ladder_replay, work.fpga_parts[i], i, None))
+                return (_run_fpga_partition,
+                        (cfg, engine_variant, work.fpga_parts[i],
+                         plan.match_plan, collect_results,
+                         ctx.tracer.enabled))
+            j = pending_cpu[pos - len(fpga_tasks)]
+            return (_run_cpu_partition, (work.cpu_parts[j], plan.order))
+
+        all_tasks = [*fpga_tasks, *cpu_tasks]
+        pool.run(
+            all_tasks,
+            on_result=on_done,
+            uses_shm=(
+                [True] * len(all_tasks) if arena is not None else None
+            ),
+            fallback=pickled_fallback if arena is not None else None,
+        )
 
         # -- merge in partition-index order ----------------------------
         pcie_seconds = 0.0
@@ -1078,6 +1125,34 @@ def execute_stage(
             executor_pool_effective=exec_cfg.pool,
             cst_plane=cst_plane,
         )
+        if warm is not None:
+            # Per-stage deltas of the warm pool's cumulative counters
+            # (the pool outlives this stage), plus a wall-clock `pool`
+            # trace lane of every supervision decision. All of this is
+            # strictly wall-domain: modeled seconds and counts above
+            # are already merged and cannot see it.
+            after = warm.stats.to_dict()
+            st.note(
+                pool_warm=True,
+                task_chunk=exec_cfg.task_chunk,
+                **{
+                    f"pool_{key}": after[key] - pool_stats0.get(key, 0)
+                    for key in (
+                        "spawned", "respawns", "redispatches", "hedges",
+                        "quarantines", "shm_fallbacks", "stall_kills",
+                        "recycled", "chunks",
+                    )
+                },
+            )
+            tracer = ctx.tracer
+            events = warm.drain_events()
+            if tracer.enabled and events:
+                epoch = time.perf_counter() - tracer.now_wall()
+                for ts, kind, detail in events:
+                    tracer.instant(
+                        "pool", kind, max(0.0, ts - epoch),
+                        clock=WALL, **detail,
+                    )
         if journal is not None:
             st.note(
                 journaled=True,

@@ -617,6 +617,26 @@ def metrics_to_prometheus(
              "replayed from a journal).",
              partition_samples, suffix="_total")
 
+    if execute.get("pool_warm"):
+        w.family(
+            "pool_events", "counter",
+            "Warm worker-pool supervision actions during execute "
+            "(respawned workers, re-dispatched chunks, hedges, "
+            "quarantined tasks; see docs/robustness.md).",
+            [({**base, "event": event},
+              float(execute.get(f"pool_{event}", 0)))
+             for event in ("spawned", "respawns", "redispatches",
+                           "hedges", "quarantines", "shm_fallbacks",
+                           "stall_kills", "recycled")
+             if f"pool_{event}" in execute],
+            suffix="_total",
+        )
+        w.family(
+            "pool_chunks", "counter",
+            "Task chunks dispatched to the warm worker pool.",
+            [(base, float(execute.get("pool_chunks", 0)))],
+            suffix="_total",
+        )
     w.family(
         "recovery_actions", "counter",
         "Fault-recovery actions taken (see docs/robustness.md).",

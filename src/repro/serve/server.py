@@ -59,7 +59,9 @@ from repro.ldbc.datasets import load_dataset
 from repro.ldbc.generator import LdbcDataset
 from repro.ldbc.queries import get_query
 from repro.runtime.context import StageCache
+from repro.runtime.faults import HostFaultPlan
 from repro.runtime.journal import DeviceHealthLedger
+from repro.runtime.pool import PoolConfig, WorkerPool
 from repro.runtime.registry import REGISTRY
 from repro.runtime.shm import CstArena
 from repro.runtime.tracing import WALL, Tracer, _PromWriter
@@ -262,6 +264,7 @@ class MatchServer:
         self._queue: list[tuple[JobRequest, str, float, str | None]] = []
         self._seq = 0
         self._arena: CstArena | None = None
+        self._pool: WorkerPool | None = None
         self._manifest_fd: int | None = None
         self._recovered: list[tuple[JobRequest, str | None]] = []
         if cfg.state_dir is not None:
@@ -352,6 +355,9 @@ class MatchServer:
         if self._manifest_fd is not None:
             os.close(self._manifest_fd)
             self._manifest_fd = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
         if self._arena is not None:
             self._arena.close()
             self._arena = None
@@ -515,11 +521,59 @@ class MatchServer:
                 return self._arena
             self._arena.close()
             self._arena = None
+            if self._pool is not None:
+                # Workers cached attachments into the old arena's
+                # segments; recycle them so the fresh arena's names
+                # never collide with stale maps.
+                self._pool.recycle()
         try:
             self._arena = CstArena()
         except OSError:
             self._arena = None
         return self._arena
+
+    def _shared_pool(self) -> WorkerPool | None:
+        """The server's long-lived warm worker pool.
+
+        Mirrors :meth:`_shared_arena`: one supervised pool spans every
+        job and batch, so ``--pool process`` requests pay the worker
+        fork once per server lifetime instead of once per stage. The
+        pool is injected (not owned) into each job context; crashed or
+        stalled workers are respawned by the pool itself, so a batch
+        that kills a worker never poisons the next one.
+        """
+        harness = self.config.harness
+        if (
+            harness.pool != "process"
+            or harness.workers <= 1
+            or not harness.warm_pool
+        ):
+            return None
+        if self._pool is not None and not self._pool.closed:
+            return self._pool
+        host_faults = None
+        if (
+            harness.host_fault_seed is not None
+            or harness.host_fault_rates is not None
+        ):
+            host_faults = HostFaultPlan(
+                seed=harness.host_fault_seed or 0,
+                rates=(
+                    dict(harness.host_fault_rates)
+                    if harness.host_fault_rates is not None else None
+                ),
+            )
+        try:
+            self._pool = WorkerPool(PoolConfig(
+                workers=harness.workers,
+                ttl=harness.pool_ttl,
+                chunk=harness.task_chunk,
+                watchdog_s=harness.pool_watchdog_s,
+                host_faults=host_faults,
+            ))
+        except OSError:  # pragma: no cover - fork unavailable
+            self._pool = None
+        return self._pool
 
     def _make_context(self, harness_cfg: HarnessConfig):
         ctx = make_context(harness_cfg, cache=self.cache)
@@ -531,6 +585,12 @@ class MatchServer:
             # Injected, not owned: the job context must not unlink the
             # server's arena when it closes (RunContext.close()).
             ctx.arena = arena
+        pool = self._shared_pool()
+        if pool is not None:
+            # Likewise injected: RunContext.ensure_pool() returns this
+            # shared pool and close() leaves it running for the next
+            # batch (worker_pool_owned stays False).
+            ctx.worker_pool = pool
         if self.tracer.enabled:
             ctx.tracer = self.tracer
         return ctx

@@ -1,0 +1,338 @@
+"""Whole-pipeline chaos tests for the warm worker pool (ISSUE 9).
+
+The acceptance property: SIGKILLing any pool worker at any seeded
+point — or injecting stalls and shm loss — yields the same embedding
+counts, modeled seconds, and health report as a fault-free serial run,
+with zero leaked worker processes or ``/dev/shm`` segments. Host
+faults are strictly wall-clock events; the modeled world cannot see
+them.
+
+In-process runs are safe because the pool's supervision absorbs the
+worker SIGKILLs; the kill/resume and external-killer cases spawn real
+subprocesses (a parent SIGKILL cannot be simulated in-process).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.harness import (
+    HarnessConfig,
+    make_context,
+    tight_config,
+)
+from repro.ldbc.datasets import load_dataset
+from repro.ldbc.queries import get_query
+from repro.runtime.registry import REGISTRY
+from repro.serve import MatchServer, ServeConfig
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (backend, host-fault seed): one seed per FAST variant plus the
+#: multi-FPGA runner, at default hostile rates (kills + stalls + shm
+#: loss). The slow sweep below widens the seed coverage.
+CHAOS_MATRIX = [
+    ("fast-share", 7),
+    ("fast-sep", 17),
+    ("multi-fpga", 23),
+]
+
+
+def payload(out):
+    return {
+        "embeddings": out.embeddings,
+        "modeled_seconds": out.seconds,
+        "health": out.health,
+    }
+
+
+def run_once(backend, *, dataset="DG-MINI", query="q1", **overrides):
+    config = tight_config(HarnessConfig(use_cache=False, **overrides))
+    ctx = make_context(config)
+    try:
+        out = REGISTRY.get(backend).run(
+            ctx, get_query(query).graph, load_dataset(dataset).graph
+        )
+    finally:
+        ctx.close()
+    return payload(out)
+
+
+def chaos_kwargs(seed, **extra):
+    kwargs = dict(
+        pool="process",
+        workers=3,
+        host_fault_seed=seed,
+        pool_watchdog_s=0.3,
+    )
+    kwargs.update(extra)
+    return kwargs
+
+
+def shm_segments():
+    try:
+        return {
+            name for name in os.listdir("/dev/shm")
+            if name.startswith("psm_")
+        }
+    except FileNotFoundError:  # pragma: no cover - no /dev/shm
+        return set()
+
+
+def assert_no_new_segments(before):
+    leaked = shm_segments() - before
+    deadline = time.time() + 5.0
+    while leaked and time.time() < deadline:
+        time.sleep(0.2)
+        leaked = shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {leaked}"
+
+
+class TestSeededHostFaults:
+    @pytest.mark.parametrize("backend,seed", CHAOS_MATRIX)
+    def test_results_identical_to_fault_free(self, backend, seed):
+        before = shm_segments()
+        baseline = run_once(backend)
+        chaotic = run_once(backend, **chaos_kwargs(seed))
+        assert chaotic == baseline
+        assert_no_new_segments(before)
+
+    def test_chunked_ttl_run_is_identical_too(self):
+        # Chunked dispatch, worker recycling, and host faults at once:
+        # none of it may leak into the modeled world.
+        baseline = run_once("fast-share")
+        chaotic = run_once(
+            "fast-share",
+            **chaos_kwargs(7, task_chunk=4, pool_ttl=3),
+        )
+        assert chaotic == baseline
+
+    def test_cold_pool_fallback_is_identical_too(self):
+        # --cold-pool keeps the legacy per-stage executor; results
+        # must match the warm pool and the serial baseline.
+        baseline = run_once("fast-share")
+        cold = run_once(
+            "fast-share", pool="process", workers=3, warm_pool=False,
+        )
+        assert cold == baseline
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("seed", [3, 5, 11, 13, 29])
+    def test_seed_sweep_fast_share(self, seed):
+        baseline = run_once("fast-share")
+        assert run_once("fast-share", **chaos_kwargs(seed)) == baseline
+
+
+class TestExternalKiller:
+    def test_sigkill_worker_mid_pipeline(self):
+        baseline = run_once("fast-share")
+        config = tight_config(HarnessConfig(
+            use_cache=False, pool="process", workers=3,
+        ))
+        ctx = make_context(config)
+        killed = []
+
+        def assassinate():
+            deadline = time.time() + 60.0
+            while time.time() < deadline:
+                pool = ctx.worker_pool
+                if pool is not None:
+                    pids = pool.worker_pids()
+                    if pids:
+                        try:
+                            os.kill(pids[0], signal.SIGKILL)
+                        except ProcessLookupError:
+                            pass
+                        killed.append(pids[0])
+                        return
+                time.sleep(0.005)
+
+        killer = threading.Thread(target=assassinate)
+        killer.start()
+        try:
+            out = REGISTRY.get("fast-share").run(
+                ctx, get_query("q1").graph,
+                load_dataset("DG-MINI").graph,
+            )
+        finally:
+            ctx.close()
+            killer.join()
+        assert killed, "pipeline finished before a worker was forked"
+        assert payload(out) == baseline
+
+
+#: Child for kill/resume-under-chaos: one backend run with a warm
+#: process pool and seeded host faults, printing the comparison JSON.
+CHILD_SCRIPT = textwrap.dedent("""
+    import json
+    import sys
+
+    from repro.experiments.harness import (
+        HarnessConfig, make_context, tight_config,
+    )
+    from repro.ldbc.datasets import load_dataset
+    from repro.ldbc.queries import get_query
+    from repro.runtime.registry import REGISTRY
+
+    backend, journal, mode, host_seed, workers, pool = sys.argv[1:7]
+    config = tight_config(HarnessConfig(
+        use_cache=False,
+        workers=int(workers),
+        pool=pool,
+        pool_watchdog_s=0.3,
+        host_fault_seed=None if host_seed == "-" else int(host_seed),
+        journal_path=journal if mode == "record" else None,
+        resume_path=journal if mode == "resume" else None,
+    ))
+    ctx = make_context(config)
+    out = REGISTRY.get(backend).run(
+        ctx, get_query("q1").graph, load_dataset("DG-MINI").graph
+    )
+    ctx.close()
+    print(json.dumps({
+        "embeddings": out.embeddings,
+        "modeled_seconds": out.seconds,
+        "health": out.health,
+    }, sort_keys=True))
+""")
+
+
+def run_child(backend, journal, mode, *, host_seed=None, workers=1,
+              pool="thread", crash_after=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    env.pop("REPRO_JOURNAL_CRASH_AFTER", None)
+    if crash_after is not None:
+        env["REPRO_JOURNAL_CRASH_AFTER"] = str(crash_after)
+    return subprocess.run(
+        [sys.executable, "-c", CHILD_SCRIPT, backend, str(journal),
+         mode, "-" if host_seed is None else str(host_seed),
+         str(workers), pool],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        timeout=300,
+    )
+
+
+class TestKillResumeUnderChaos:
+    """A run SIGKILLed mid-execute *while host faults are firing*
+    resumes bit-identically — the journal and the pool compose."""
+
+    def test_resume_bit_identical_with_host_faults(self, tmp_path):
+        before = shm_segments()
+        journal = tmp_path / "chaos.jsonl"
+        baseline = run_child("fast-sep", journal, "none")
+        assert baseline.returncode == 0, baseline.stderr[-800:]
+
+        killed = run_child(
+            "fast-sep", journal, "record",
+            host_seed=7, workers=3, pool="process", crash_after=5,
+        )
+        assert killed.returncode == -signal.SIGKILL, (
+            f"expected SIGKILL, got rc={killed.returncode}: "
+            f"{killed.stderr[-500:]}"
+        )
+        lines = journal.read_text().splitlines()
+        assert len(lines) == 1 + 5  # header + durable records
+        assert json.loads(lines[0])["type"] == "header"
+
+        resumed = run_child(
+            "fast-sep", journal, "resume",
+            host_seed=7, workers=3, pool="process",
+        )
+        assert resumed.returncode == 0, resumed.stderr[-800:]
+        assert resumed.stdout == baseline.stdout
+        # The SIGKILLed parent's orphaned workers and arena segments
+        # must be gone (parent-death tether + resource tracker).
+        assert_no_new_segments(before)
+
+
+def request_line(job_id, dataset="DG-MINI", query="q1", **fields):
+    # DG-MINI/q1 under the tight device yields a real partition
+    # stream; DG-MICRO runs single-partition and never forks workers.
+    return json.dumps(
+        {"id": job_id, "dataset": dataset, "query": query, **fields}
+    )
+
+
+class TestServeWarmPool:
+    def serve_once(self, harness, lines):
+        server = MatchServer(
+            ServeConfig(capacity_s=100.0, harness=harness)
+        )
+        sink = io.StringIO()
+        server.run(lines, sink)
+        responses = [
+            json.loads(line) for line in sink.getvalue().splitlines()
+        ]
+        return server, responses
+
+    def test_batches_share_one_pool_of_workers(self):
+        lines = [request_line(f"job-{i}") for i in range(4)]
+        harness = tight_config(HarnessConfig(
+            use_cache=False, pool="process", workers=2,
+        ))
+        server, responses = self.serve_once(harness, lines)
+        try:
+            assert [r["status"] for r in responses] == ["OK"] * 4
+            pool = server._pool
+            assert pool is not None and not pool.closed
+            # Forked once for the whole trace: the whole point of a
+            # warm pool under `repro serve`.
+            assert pool.stats.spawned == harness.workers
+            assert pool.stats.respawns == 0
+        finally:
+            server.close()
+        assert server._pool is None
+        assert pool.closed
+
+    def test_serve_results_match_serial_server(self):
+        lines = [request_line(f"job-{i}") for i in range(3)]
+        _server, warm = self.serve_once(
+            tight_config(HarnessConfig(
+                use_cache=False, pool="process", workers=2,
+            )),
+            lines,
+        )
+        _server.close()
+        _server2, serial = self.serve_once(
+            tight_config(HarnessConfig(use_cache=False)), lines
+        )
+        _server2.close()
+        keep = ("id", "status", "embeddings", "modeled_seconds")
+        assert [
+            {k: r.get(k) for k in keep} for r in warm
+        ] == [
+            {k: r.get(k) for k in keep} for r in serial
+        ]
+
+    def test_serve_survives_host_faults(self):
+        lines = [request_line(f"job-{i}") for i in range(3)]
+        _server, faulted = self.serve_once(
+            tight_config(HarnessConfig(
+                use_cache=False, pool="process", workers=2,
+                host_fault_seed=7, pool_watchdog_s=0.3,
+            )),
+            lines,
+        )
+        _server.close()
+        _server2, serial = self.serve_once(
+            tight_config(HarnessConfig(use_cache=False)), lines
+        )
+        _server2.close()
+        keep = ("id", "status", "embeddings", "modeled_seconds")
+        assert [
+            {k: r.get(k) for k in keep} for r in faulted
+        ] == [
+            {k: r.get(k) for k in keep} for r in serial
+        ]
