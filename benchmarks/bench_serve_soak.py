@@ -20,14 +20,24 @@ committed ``BENCH_serve.json`` baseline is machine-independent:
 * the per-status totals (every request terminal, nothing crashed);
 * the shed rate (overload degrades to refusals, not growth);
 * p99 modeled latency over completed jobs (the SLA number);
+* per-priority SLO rows — rolling-window p50/p99 modeled latency and
+  error-budget burn rate per priority class (``fast_serve_slo_*``);
 * per-(backend, dataset, query) embedding counts, re-verified against
   standalone registry runs (serving never changes counts).
+
+``--live`` additionally binds the server's ``/metrics`` endpoint on an
+ephemeral port and scrapes it concurrently *while the soak runs*:
+every scrape must validate as Prometheus text, ``/healthz`` must
+answer, and the mid-soak family set must be a subset of the
+end-of-run snapshot's. Live results are asserted, not baselined — the
+committed ``BENCH_serve.json`` stays identical across modes.
 
 Standalone usage (CI's serve job runs ``--check``)::
 
     python benchmarks/bench_serve_soak.py            # print JSON
     python benchmarks/bench_serve_soak.py --write    # refresh baseline
     python benchmarks/bench_serve_soak.py --check    # gate vs baseline
+    python benchmarks/bench_serve_soak.py --live     # + live scrapes
 """
 
 from __future__ import annotations
@@ -36,6 +46,8 @@ import argparse
 import io
 import json
 import sys
+import threading
+import time
 from dataclasses import replace
 from pathlib import Path
 
@@ -43,6 +55,7 @@ from repro.common.io import atomic_write_json
 from repro.experiments.harness import make_context, tight_config
 from repro.ldbc.datasets import load_dataset
 from repro.ldbc.queries import get_query
+from repro.obs.registry import exposition_families
 from repro.runtime.registry import REGISTRY
 from repro.runtime.tracing import validate_prometheus_text
 from repro.serve import MatchServer, ServeConfig
@@ -106,19 +119,109 @@ def serve_config() -> ServeConfig:
     )
 
 
-def collect() -> dict:
-    server = MatchServer(serve_config())
+class _LiveScraper:
+    """Polls /metrics and /healthz on a thread while the soak runs."""
+
+    def __init__(self, port: int) -> None:
+        self.url = f"http://127.0.0.1:{port}"
+        self.scrapes = 0
+        self.families: set[str] = set()
+        self.health_states: set[str] = set()
+        self.errors: list[str] = []
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, daemon=True
+        )
+
+    def _fetch(self, path: str) -> tuple[int, str]:
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(
+                self.url + path, timeout=5.0
+            ) as resp:
+                return resp.status, resp.read().decode()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                status, body = self._fetch("/metrics")
+                if status != 200:
+                    self.errors.append(
+                        f"/metrics answered {status} mid-soak"
+                    )
+                else:
+                    self.errors.extend(
+                        f"scrape {self.scrapes}: {err}"
+                        for err in validate_prometheus_text(body)
+                    )
+                    self.families |= exposition_families(body)
+                _, health = self._fetch("/healthz")
+                self.health_states.add(
+                    json.loads(health).get("state", "?")
+                )
+                self.scrapes += 1
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                self.errors.append(f"live scrape failed: {exc!r}")
+                return
+            time.sleep(0.005)
+
+    def __enter__(self) -> "_LiveScraper":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+
+
+def collect(live: bool = False) -> dict:
+    config = serve_config()
+    if live:
+        config = replace(config, metrics_port=0)
+    server = MatchServer(config)
     sink = io.StringIO()
-    report = server.run(build_trace(), sink)
+    if live:
+        with _LiveScraper(server.http_port) as scraper:
+            report = server.run(build_trace(), sink)
+    else:
+        report = server.run(build_trace(), sink)
     responses = [json.loads(line)
                  for line in sink.getvalue().splitlines()]
+    end_metrics = server.metrics_text()
+    slo = server.slo.snapshot()
     server.close()
 
     if len(responses) != NUM_REQUESTS:
         raise AssertionError(
             f"{NUM_REQUESTS} requests but {len(responses)} responses"
         )
-    validate_prometheus_text(server.metrics_text())
+    format_errors = validate_prometheus_text(end_metrics)
+    if format_errors:
+        raise AssertionError(
+            f"end-of-run metrics are malformed: {format_errors[0]}"
+        )
+    if live:
+        if scraper.scrapes == 0 or scraper.errors:
+            raise AssertionError(
+                "live scrape failures: "
+                + (scraper.errors or ["no scrape completed"])[0]
+            )
+        extra = scraper.families - exposition_families(end_metrics)
+        if extra:
+            raise AssertionError(
+                f"mid-soak scrape exposed families missing from the "
+                f"end-of-run snapshot: {sorted(extra)}"
+            )
+        print(
+            f"live: {scraper.scrapes} mid-soak scrapes, "
+            f"{len(scraper.families)} families, healthz states "
+            f"{sorted(scraper.health_states)}",
+            file=sys.stderr,
+        )
 
     # Serving must never change counts: every completed triple has to
     # match a standalone registry run under the same harness config.
@@ -164,6 +267,7 @@ def collect() -> dict:
         "queue_peak": report.queue_peak,
         "p99_modeled_latency_s": report.p99_modeled_latency(),
         "max_modeled_latency_s": completed[-1] if completed else 0.0,
+        "slo": slo,
         "embeddings": dict(sorted(counts.items())),
         "breaker": report.breaker,
     }
@@ -204,6 +308,32 @@ def check(payload: dict, baseline: dict) -> list[str]:
             f"{payload['p99_modeled_latency_s']!r} vs baseline "
             f"{baseline['p99_modeled_latency_s']!r}"
         )
+    # Per-priority SLO rows: the rolling windows are pure functions of
+    # the modeled trace, so quantiles gate at the modeled tolerance
+    # and the discrete rows (window sizes, observed counts) exactly.
+    base_slo = baseline.get("slo", {})
+    if sorted(payload["slo"]) != sorted(base_slo):
+        failures.append(
+            f"SLO priority set changed: {sorted(payload['slo'])} vs "
+            f"{sorted(base_slo)}"
+        )
+    for priority in sorted(set(payload["slo"]) & set(base_slo)):
+        row, base_row = payload["slo"][priority], base_slo[priority]
+        for key in ("p50_modeled_latency_s", "p99_modeled_latency_s",
+                    "burn_rate"):
+            if abs(row[key] - base_row[key]) > MODELED_TOLERANCE * max(
+                abs(base_row[key]), 1.0
+            ):
+                failures.append(
+                    f"priority {priority} {key} drifted: {row[key]!r} "
+                    f"vs baseline {base_row[key]!r}"
+                )
+        for key in ("window_jobs", "observed"):
+            if row[key] != base_row[key]:
+                failures.append(
+                    f"priority {priority} {key} changed: {row[key]} "
+                    f"vs baseline {base_row[key]}"
+                )
     return failures
 
 
@@ -215,9 +345,13 @@ def main(argv: list[str] | None = None) -> int:
                              "committed baseline")
     parser.add_argument("--write", action="store_true",
                         help="refresh the committed baseline JSON")
+    parser.add_argument("--live", action="store_true",
+                        help="scrape the live /metrics endpoint "
+                             "concurrently while the soak runs and "
+                             "assert every scrape validates")
     args = parser.parse_args(argv)
 
-    payload = collect()
+    payload = collect(live=args.live)
     print(json.dumps(payload, indent=2))
     if args.write:
         atomic_write_json(BASELINE_PATH, payload)

@@ -320,6 +320,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="persistent device-health ledger shared "
                             "with standalone runs (scales admission "
                             "capacity)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve live /metrics and /healthz over "
+                            "loopback HTTP while running (0 picks an "
+                            "ephemeral port, printed to stderr)")
+    serve.add_argument("--log-json", default=None, metavar="FILE",
+                       help="append structured JSONL event records "
+                            "(one object per line, each carrying the "
+                            "owning request id) to FILE")
 
     info = sub.add_parser("info", help="dataset statistics (Table III)")
     info.add_argument("--dataset", default="DG01", choices=_ALL_DATASETS)
@@ -339,6 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
                               "`repro match --trace`")
     summary.add_argument("--top", type=int, default=5, metavar="N",
                          help="spans shown per lane (default: 5)")
+    summary.add_argument("--request", default=None, metavar="ID",
+                         help="only spans of this serve request id "
+                              "(matches the request_id span arg)")
     return parser
 
 
@@ -588,6 +600,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         state_dir=args.state_dir,
         health_ledger_path=args.health_ledger,
         trace=args.trace is not None,
+        metrics_port=args.metrics_port,
+        log_json=args.log_json,
         harness=harness,
     )
     try:
@@ -598,6 +612,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except DeviceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if server.http_port is not None:
+        print(f"metrics on http://127.0.0.1:{server.http_port}/metrics",
+              file=sys.stderr)
     try:
         if args.listen is not None:
             host, _, port_text = args.listen.rpartition(":")
@@ -717,13 +734,22 @@ def cmd_trace_summary(args: argparse.Namespace) -> int:
         print(f"error: {path} is not a valid trace: {errors[0]}",
               file=sys.stderr)
         return 2
-    rows = summarize_trace(payload, top=args.top)
+    rows = summarize_trace(
+        payload, top=args.top, request_id=args.request
+    )
     if not rows:
-        print("trace contains no spans", file=sys.stderr)
+        if args.request is not None:
+            print(f"trace contains no spans for request "
+                  f"{args.request!r}", file=sys.stderr)
+        else:
+            print("trace contains no spans", file=sys.stderr)
         return 0
+    scope = (
+        f" (request {args.request})" if args.request is not None else ""
+    )
     print(render_table(
         ["clock", "lane", "span", "start_ms", "duration_ms"], rows,
-        title=f"top {args.top} spans per lane of {path.name}",
+        title=f"top {args.top} spans per lane of {path.name}{scope}",
     ))
     return 0
 

@@ -1,0 +1,47 @@
+"""Live observability plane (docs/observability.md).
+
+``repro.obs`` is the layer every exporter reads its numbers from:
+
+:mod:`repro.obs.registry`
+    The declared-family :class:`MetricsRegistry` — the single source
+    of every ``fast_*`` Prometheus family. End-of-run ``--metrics-out``
+    snapshots and live ``/metrics`` scrapes render the same registry,
+    so the two can never drift.
+
+:mod:`repro.obs.httpd`
+    A zero-dependency (stdlib ``http.server``) exporter serving
+    ``/metrics`` and ``/healthz`` from a daemon thread during a
+    ``repro serve`` session (``--metrics-port``).
+
+:mod:`repro.obs.logs`
+    Structured JSONL event logging (``--log-json``): one leveled JSON
+    object per line, every record carrying the owning ``request_id``.
+
+:mod:`repro.obs.slo`
+    Per-priority rolling latency windows and SLO burn rates over the
+    deterministic modeled-latency domain, feeding the
+    ``fast_serve_slo_*`` gauges and the soak gate's per-priority
+    p50/p99 rows.
+"""
+
+from repro.obs.httpd import ObservabilityHTTPServer
+from repro.obs.logs import JsonLogger
+from repro.obs.registry import (
+    FAMILIES,
+    MetricsRegistry,
+    build_run_registry,
+    exposition_families,
+    serve_families,
+)
+from repro.obs.slo import SloTracker
+
+__all__ = [
+    "FAMILIES",
+    "JsonLogger",
+    "MetricsRegistry",
+    "ObservabilityHTTPServer",
+    "SloTracker",
+    "build_run_registry",
+    "exposition_families",
+    "serve_families",
+]

@@ -1,0 +1,135 @@
+"""Zero-dependency live ``/metrics`` + ``/healthz`` HTTP exporter.
+
+``repro serve --metrics-port N`` turns the end-of-run
+``--metrics-out`` snapshot into a live endpoint: a stdlib
+``http.server.ThreadingHTTPServer`` on a daemon thread answers
+
+``GET /metrics``
+    The server's current Prometheus exposition (the same registry
+    render the end-of-run snapshot writes — scrapes and files cannot
+    drift). Content type is the Prometheus text-format ``0.0.4``.
+
+``GET /healthz``
+    A one-object JSON health report. 200 while the server is
+    ``serving``; 503 for every other state (``starting`` before the
+    run loop, ``draining`` once input hit EOF and only queued work
+    remains) — the shape load balancers expect.
+
+Port 0 binds an ephemeral port (tests, parallel soaks); the bound
+port is exposed as :attr:`ObservabilityHTTPServer.port`. The callback
+runs on scrape threads, so whatever it reads must be lock-guarded by
+the caller (``MatchServer.metrics_text`` is). A callback failure
+answers 500 rather than killing the scrape thread.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+#: The Prometheus text exposition format version we emit.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Health state that answers 200 on /healthz; all others answer 503.
+SERVING = "serving"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes /metrics and /healthz to the owning server's callbacks."""
+
+    server: "_Httpd"
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            self._metrics()
+        elif path == "/healthz":
+            self._healthz()
+        else:
+            self._send(404, "text/plain; charset=utf-8", "not found\n")
+
+    def _metrics(self) -> None:
+        try:
+            body = self.server.metrics_fn()
+        except Exception as exc:  # never kill the scrape thread
+            self._send(500, "text/plain; charset=utf-8",
+                       f"metrics render failed: {exc}\n")
+            return
+        self._send(200, CONTENT_TYPE, body)
+
+    def _healthz(self) -> None:
+        try:
+            health = self.server.health_fn()
+        except Exception as exc:
+            self._send(500, "text/plain; charset=utf-8",
+                       f"health probe failed: {exc}\n")
+            return
+        status = 200 if health.get("state") == SERVING else 503
+        self._send(status, "application/json",
+                   json.dumps(health) + "\n")
+
+    def _send(self, status: int, ctype: str, body: str) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        try:
+            self.wfile.write(payload)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # scraper went away mid-response
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Silence the default per-request stderr chatter."""
+
+
+class _Httpd(ThreadingHTTPServer):
+    daemon_threads = True
+    metrics_fn: Callable[[], str]
+    health_fn: Callable[[], dict[str, Any]]
+
+
+class ObservabilityHTTPServer:
+    """Owns one exporter: bind, serve on a daemon thread, close."""
+
+    def __init__(
+        self,
+        port: int,
+        metrics_fn: Callable[[], str],
+        health_fn: Callable[[], dict[str, Any]],
+        host: str = "127.0.0.1",
+    ) -> None:
+        self._httpd = _Httpd((host, port), _Handler)
+        self._httpd.metrics_fn = metrics_fn
+        self._httpd.health_fn = health_fn
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves port 0 to the ephemeral choice)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host = self._httpd.server_address[0]
+        return f"http://{host}:{self.port}"
+
+    def start(self) -> "ObservabilityHTTPServer":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-metrics-httpd",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5.0)
+        self._httpd.server_close()

@@ -1,0 +1,127 @@
+"""Structured JSONL event logging (``--log-json``).
+
+The server, pool, and supervisor paths used to narrate through ad-hoc
+``print(..., file=sys.stderr)`` and ``warnings.warn`` — unparseable,
+unleveled, and blind to which request an event belonged to. This
+module gives them one sink: a :class:`JsonLogger` appending one JSON
+object per line, each record carrying
+
+``ts``
+    Unix seconds (wall clock; the only wall value in the record).
+``level``
+    ``debug`` / ``info`` / ``warning`` / ``error``; records below the
+    configured threshold are dropped.
+``event``
+    A stable snake_case event name (``job_finished``,
+    ``shm_downgrade``, ``pool_respawn``, ...).
+``request_id``
+    The owning serve request id, or ``null`` for server/pool-lifetime
+    events — every record carries the key, so downstream filters can
+    always group by it.
+
+plus event-specific fields. Writing is lock-guarded (one ``write`` +
+``flush`` per record), so worker-callback and scrape threads can log
+concurrently, and a logger built with ``sink=None`` is disabled: every
+method early-returns, mirroring the tracer's zero-overhead-when-off
+contract.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+#: Level name -> severity rank (records below the threshold drop).
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class JsonLogger:
+    """Leveled JSONL event logger; disabled when built without a sink.
+
+    ``sink`` is a path (opened for append) or an open text stream
+    (borrowed — :meth:`close` only closes streams this logger opened).
+    """
+
+    def __init__(
+        self,
+        sink: str | Path | TextIO | None = None,
+        level: str = "info",
+    ) -> None:
+        if level not in LEVELS:
+            raise ValueError(
+                f"unknown log level {level!r} "
+                f"(expected one of {sorted(LEVELS)})"
+            )
+        self.level = level
+        self._threshold = LEVELS[level]
+        self._lock = threading.Lock()
+        self._stream: TextIO | None = None
+        self._owns_stream = False
+        if sink is None:
+            pass
+        elif hasattr(sink, "write"):
+            self._stream = sink  # type: ignore[assignment]
+        else:
+            self._stream = open(sink, "a", encoding="utf-8")
+            self._owns_stream = True
+
+    @property
+    def enabled(self) -> bool:
+        return self._stream is not None
+
+    def log(
+        self,
+        level: str,
+        event: str,
+        request_id: str | None = None,
+        **fields: Any,
+    ) -> None:
+        """Append one record (no-op when disabled or below level)."""
+        if self._stream is None:
+            return
+        rank = LEVELS.get(level)
+        if rank is None:
+            raise ValueError(f"unknown log level {level!r}")
+        if rank < self._threshold:
+            return
+        record = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "event": event,
+            "request_id": request_id,
+            **fields,
+        }
+        line = json.dumps(record, default=str) + "\n"
+        with self._lock:
+            stream = self._stream
+            if stream is None:  # closed concurrently
+                return
+            stream.write(line)
+            stream.flush()
+
+    def debug(self, event: str, request_id: str | None = None,
+              **fields: Any) -> None:
+        self.log("debug", event, request_id=request_id, **fields)
+
+    def info(self, event: str, request_id: str | None = None,
+             **fields: Any) -> None:
+        self.log("info", event, request_id=request_id, **fields)
+
+    def warning(self, event: str, request_id: str | None = None,
+                **fields: Any) -> None:
+        self.log("warning", event, request_id=request_id, **fields)
+
+    def error(self, event: str, request_id: str | None = None,
+              **fields: Any) -> None:
+        self.log("error", event, request_id=request_id, **fields)
+
+    def close(self) -> None:
+        """Close a stream this logger opened (idempotent)."""
+        with self._lock:
+            stream, self._stream = self._stream, None
+            if stream is not None and self._owns_stream:
+                stream.close()
+            self._owns_stream = False

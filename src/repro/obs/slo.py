@@ -1,0 +1,129 @@
+"""Per-priority SLO tracking over the modeled-latency domain.
+
+A production serving tier is judged against a latency SLO per traffic
+class; the ROADMAP's "serving, phase 2" item asks for exactly that in
+the soak gate. :class:`SloTracker` keeps, per request priority, a
+rolling window of the last ``window`` requests and derives
+
+* **latency quantiles** (p50/p99) over the *modeled* seconds of
+  completed (OK/DEGRADED) requests — the same deterministic domain
+  every other gated number lives in, so the quantiles are
+  bit-reproducible and can be held to a 1e-9 tolerance in
+  ``BENCH_serve.json``;
+* a **burn rate** per priority: the fraction of windowed requests
+  that *missed* their SLO, divided by the error budget. A request
+  misses when it did not complete (SHED/DEADLINE/FATAL) or when its
+  modeled latency exceeded the priority's target. Burn rate 1.0 means
+  the window is spending its budget exactly as fast as allowed;
+  above 1.0 the budget is burning down (the standard SRE alerting
+  quantity).
+
+Everything here is a pure function of the request trace and the
+configuration — no wall clock — so the serve soak can gate the
+resulting ``fast_serve_slo_*`` gauges alongside counts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Mapping
+
+#: Statuses that count as completed work for latency quantiles.
+COMPLETED_STATUSES = ("OK", "DEGRADED")
+
+#: Default per-priority modeled-latency target (seconds). Priorities
+#: without an explicit target fall back to this.
+DEFAULT_TARGET_S = 0.005
+
+#: Default error budget: the allowed miss fraction of the window.
+DEFAULT_BUDGET = 0.05
+
+
+def quantile(sorted_values: list[float], q: int) -> float:
+    """The ``q``-th percentile with the serve report's ceil/1-based
+    convention (q=99 of one value is that value)."""
+    if not sorted_values:
+        return 0.0
+    index = max(0, -(-q * len(sorted_values) // 100) - 1)
+    return sorted_values[index]
+
+
+class SloTracker:
+    """Rolling per-priority latency windows and burn-rate gauges."""
+
+    def __init__(
+        self,
+        target_s: float = DEFAULT_TARGET_S,
+        targets: Mapping[int, float] | None = None,
+        window: int = 256,
+        budget: float = DEFAULT_BUDGET,
+    ) -> None:
+        if window < 1:
+            raise ValueError("SLO window must be >= 1")
+        if not 0.0 < budget <= 1.0:
+            raise ValueError("SLO budget must be in (0, 1]")
+        self.default_target_s = target_s
+        self.targets = dict(targets or {})
+        self.window = window
+        self.budget = budget
+        #: priority -> rolling latencies of completed requests.
+        self._latencies: dict[int, deque[float]] = {}
+        #: priority -> rolling miss bits over *all* requests.
+        self._misses: dict[int, deque[bool]] = {}
+        #: priority -> total requests observed (lifetime).
+        self.observed: dict[int, int] = {}
+
+    def target(self, priority: int) -> float:
+        return self.targets.get(priority, self.default_target_s)
+
+    def observe(
+        self,
+        priority: int,
+        modeled_seconds: float | None,
+        status: str,
+    ) -> None:
+        """Record one finished (or refused) request."""
+        misses = self._misses.setdefault(
+            priority, deque(maxlen=self.window)
+        )
+        self.observed[priority] = self.observed.get(priority, 0) + 1
+        completed = (
+            status in COMPLETED_STATUSES and modeled_seconds is not None
+        )
+        if completed:
+            self._latencies.setdefault(
+                priority, deque(maxlen=self.window)
+            ).append(modeled_seconds)
+        misses.append(
+            not completed or modeled_seconds > self.target(priority)
+        )
+
+    def quantile(self, priority: int, q: int) -> float:
+        """The windowed modeled-latency percentile for one priority."""
+        return quantile(
+            sorted(self._latencies.get(priority, ())), q
+        )
+
+    def burn_rate(self, priority: int) -> float:
+        """Windowed miss fraction over the error budget (0 = clean)."""
+        misses = self._misses.get(priority)
+        if not misses:
+            return 0.0
+        return (sum(misses) / len(misses)) / self.budget
+
+    def priorities(self) -> list[int]:
+        return sorted(self._misses)
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Per-priority gauge values (JSON-friendly string keys)."""
+        out: dict[str, dict[str, Any]] = {}
+        for priority in self.priorities():
+            out[str(priority)] = {
+                "p50_modeled_latency_s": self.quantile(priority, 50),
+                "p99_modeled_latency_s": self.quantile(priority, 99),
+                "burn_rate": self.burn_rate(priority),
+                "target_s": self.target(priority),
+                "window_jobs": len(self._misses[priority]),
+                "observed": self.observed.get(priority, 0),
+            }
+        return out

@@ -356,6 +356,11 @@ class RunContext:
     #: applied by the warm pool's workers; ``None`` runs host-fault
     #: free. Strictly wall-clock: never part of fingerprints.
     host_fault_plan: HostFaultPlan | None = None
+    #: Structured JSONL event logger
+    #: (:class:`repro.obs.logs.JsonLogger`), injected by the serving
+    #: layer when ``--log-json`` is set; ``None`` disables. Borrowed:
+    #: the context never closes it.
+    log: Any | None = None
 
     def __post_init__(self) -> None:
         if self.device is not None:

@@ -150,8 +150,9 @@ def _pool_worker_main(
             return
         if message[0] == "stop":
             return
-        _, dispatch_seq, attempt, items = message
-        reply = _run_chunk(dispatch_seq, attempt, items, fault_plan)
+        _, dispatch_seq, attempt, items, trace = message
+        reply = _run_chunk(dispatch_seq, attempt, items, fault_plan,
+                           trace)
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -163,21 +164,41 @@ def _run_chunk(
     attempt: int,
     items: Sequence[tuple[int, Callable[..., Any], tuple, bool]],
     fault_plan: HostFaultPlan | None,
+    trace: bool = False,
 ) -> tuple:
-    """Execute one chunk inside a worker; returns the reply message."""
+    """Execute one chunk inside a worker; returns the reply message.
+
+    With ``trace`` set, the worker times each task (plus injected
+    stalls and cold shared-memory attaches) against its own
+    ``perf_counter`` — CLOCK_MONOTONIC, system-wide, so the parent can
+    rebase the timestamps onto the tracer's wall clock — and ships the
+    spans back inside the ``done`` reply:
+    ``(name, start_perf, seconds, args)`` per span.
+    """
     out: list[tuple[int, Any]] = []
+    spans: list[tuple[str, float, float, dict]] | None = (
+        [] if trace else None
+    )
     for task_index, fn, args, uses_shm in items:
         if fault_plan is not None:
             if attempt < fault_plan.fires("worker_kill", task_index):
                 os.kill(os.getpid(), signal.SIGKILL)
             if attempt < fault_plan.fires("worker_stall", task_index):
+                stall_start = time.perf_counter()
                 time.sleep(fault_plan.stall_seconds)
+                if spans is not None:
+                    spans.append((
+                        "host-stall", stall_start,
+                        time.perf_counter() - stall_start,
+                        {"task": task_index},
+                    ))
             if uses_shm and attempt < fault_plan.fires(
                 "shm_unlink", task_index
             ):
                 _drop_shm_attachments()
                 return ("shm_lost", dispatch_seq, task_index,
                         "injected shm loss")
+        start = time.perf_counter()
         try:
             result = fn(*args)
         except FileNotFoundError as exc:
@@ -186,7 +207,21 @@ def _run_chunk(
             return _error_reply(dispatch_seq, task_index, exc)
         except Exception as exc:
             return _error_reply(dispatch_seq, task_index, exc)
+        if spans is not None:
+            spans.append((
+                "pool-task", start, time.perf_counter() - start,
+                {"task": task_index, "attempt": attempt},
+            ))
         out.append((task_index, result))
+    if spans is not None:
+        from repro.runtime import shm
+
+        for segment, attach_start, seconds in shm.drain_attach_events():
+            spans.append((
+                "shm-attach", attach_start, seconds,
+                {"segment": segment},
+            ))
+        return ("done", dispatch_seq, out, spans)
     return ("done", dispatch_seq, out)
 
 
@@ -345,6 +380,13 @@ class WorkerPool:
         self._dispatches: dict[int, _Chunk] = {}
         self._next_seq = 0
         self._events: list[tuple[float, str, dict[str, Any]]] = []
+        #: Whether dispatches ask workers to time their tasks; spans
+        #: come back in ``done`` replies and buffer here as
+        #: ``(worker_slot, name, start_perf, seconds, args)``.
+        self._trace = False
+        self._worker_spans: list[
+            tuple[int, str, float, float, dict[str, Any]]
+        ] = []
         self._closed = False
         try:
             self._mp = get_context("fork")
@@ -415,6 +457,39 @@ class WorkerPool:
         """Return and clear buffered supervision events (for tracing)."""
         events, self._events = self._events, []
         return events
+
+    def set_trace(self, enabled: bool) -> None:
+        """Ask workers to time their tasks on subsequent dispatches.
+
+        Worker-side spans ride back inside ``done`` replies and buffer
+        until :meth:`drain_worker_spans`; with tracing off the reply
+        protocol is byte-identical to before this feature existed.
+        """
+        self._trace = bool(enabled)
+
+    def drain_worker_spans(
+        self,
+    ) -> list[tuple[int, str, float, float, dict[str, Any]]]:
+        """Return and clear buffered worker-side spans.
+
+        Each entry is ``(worker_slot, name, start_perf, seconds,
+        args)``; slot ``-1`` marks parent-inline (quarantine) work.
+        Only spans from the *winning* copy of a chunk are kept —
+        duplicate completions (hedges, stragglers) are dropped with
+        their results, so the trace never shows the same task twice.
+        """
+        spans, self._worker_spans = self._worker_spans, []
+        return spans
+
+    def _record_worker_spans(
+        self,
+        slot: int,
+        spans: Sequence[tuple[str, float, float, dict[str, Any]]],
+    ) -> None:
+        for name, start, seconds, args in spans:
+            if len(self._worker_spans) >= _MAX_EVENTS:
+                return
+            self._worker_spans.append((slot, name, start, seconds, args))
 
     # ------------------------------------------------------------ run
 
@@ -509,7 +584,9 @@ class WorkerPool:
         self._next_seq += 1
         attempt = chunk.attempt
         try:
-            worker.conn.send(("run", seq, attempt, chunk.items))
+            worker.conn.send(
+                ("run", seq, attempt, chunk.items, self._trace)
+            )
         except (BrokenPipeError, OSError):
             self._kill_worker(worker)
             return False
@@ -558,6 +635,11 @@ class WorkerPool:
                 self.stats.duplicates += 1
                 continue
             if kind == "done":
+                # Spans arrive only from the winning copy: duplicate
+                # completions bailed out above, so hedged losers never
+                # double-report a task.
+                if len(message) > 3 and message[3]:
+                    self._record_worker_spans(worker.slot, message[3])
                 self._complete(chunk, message[2], state)
             elif kind == "shm_lost":
                 self._shm_lost(chunk, message[2], message[3], state)
@@ -656,11 +738,17 @@ class WorkerPool:
         results: dict[int, Any] = state["results"]
         on_result = state["on_result"]
         for task_index, fn, args, _uses in chunk.items:
+            start = time.perf_counter()
             try:
                 value = fn(*args)
             except BaseException as exc:
                 state["error"] = exc
                 return
+            if self._trace:
+                self._record_worker_spans(-1, [(
+                    "pool-task", start, time.perf_counter() - start,
+                    {"task": task_index, "quarantined": True},
+                )])
             self.stats.tasks_done += 1
             results[task_index] = value
             if on_result is not None:

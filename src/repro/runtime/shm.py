@@ -43,6 +43,7 @@ import atexit
 import mmap
 import os
 import pickle
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 from typing import Any
@@ -68,6 +69,20 @@ _ATTACHED: dict[str, Any] = {}
 #: lifetime of the process; views borrow their buffers.
 _ATTACHMENTS: list[Any] = []
 
+#: Cold-attach timings, ``(segment, start_perf_counter, seconds)``,
+#: recorded per process and drained by the pool worker loop so each
+#: request's trace shows where a worker actually paid a mapping cost
+#: (a forked worker usually inherits the mapping and records nothing).
+#: Bounded so a pathological segment churn cannot grow without limit.
+_ATTACH_EVENTS: list[tuple[str, float, float]] = []
+_MAX_ATTACH_EVENTS = 1024
+
+
+def drain_attach_events() -> list[tuple[str, float, float]]:
+    """Return and clear this process's cold-attach timing records."""
+    events, _ATTACH_EVENTS[:] = list(_ATTACH_EVENTS), []
+    return events
+
 
 def _attach(segment: str) -> Any:
     """The buffer of ``segment``, attaching read-only on first use.
@@ -84,6 +99,7 @@ def _attach(segment: str) -> Any:
     buf = _ATTACHED.get(segment)
     if buf is not None:
         return buf
+    start = time.perf_counter()
     try:
         import _posixshmem
 
@@ -105,6 +121,10 @@ def _attach(segment: str) -> Any:
             pass
         _ATTACHMENTS.append(shm)
         buf = shm.buf
+    if len(_ATTACH_EVENTS) < _MAX_ATTACH_EVENTS:
+        _ATTACH_EVENTS.append(
+            (segment, start, time.perf_counter() - start)
+        )
     _ATTACHED[segment] = buf
     return buf
 

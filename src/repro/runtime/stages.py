@@ -831,6 +831,12 @@ def execute_stage(
                         RuntimeWarning,
                         stacklevel=2,
                     )
+                    if ctx.log is not None:
+                        ctx.log.warning(
+                            "shm_downgrade",
+                            request_id=ctx.tracer.request_id,
+                            plane="pickle",
+                        )
             cst_plane = "shm" if arena is not None else "pickle"
         # Warm supervised worker pool: forked once on the context and
         # reused across execute stages (and serve batches), with
@@ -964,6 +970,10 @@ def execute_stage(
             return (_run_cpu_partition, (work.cpu_parts[j], plan.order))
 
         all_tasks = [*fpga_tasks, *cpu_tasks]
+        if warm is not None:
+            # Ask workers to time their tasks only when this run is
+            # tracing; the reply protocol is unchanged otherwise.
+            warm.set_trace(ctx.tracer.enabled)
         pool.run(
             all_tasks,
             on_result=on_done,
@@ -1146,12 +1156,33 @@ def execute_stage(
             )
             tracer = ctx.tracer
             events = warm.drain_events()
-            if tracer.enabled and events:
+            worker_spans = warm.drain_worker_spans()
+            if tracer.enabled and (events or worker_spans):
                 epoch = time.perf_counter() - tracer.now_wall()
                 for ts, kind, detail in events:
                     tracer.instant(
                         "pool", kind, max(0.0, ts - epoch),
                         clock=WALL, **detail,
+                    )
+                    if ctx.log is not None:
+                        ctx.log.info(
+                            f"pool_{kind}",
+                            request_id=tracer.request_id,
+                            **detail,
+                        )
+                # Worker-side spans (task execution, injected stalls,
+                # cold shm attaches) land on one wall lane per worker
+                # slot — perf_counter is CLOCK_MONOTONIC and
+                # system-wide, so the same epoch rebases them. Slot -1
+                # is parent-inline quarantine work.
+                for slot, name, start, seconds, args in worker_spans:
+                    lane = (
+                        "pool/parent" if slot < 0
+                        else f"pool/worker{slot}"
+                    )
+                    tracer.span(
+                        lane, name, max(0.0, start - epoch),
+                        seconds, clock=WALL, **args,
                     )
         if journal is not None:
             st.note(

@@ -120,7 +120,7 @@ class Tracer:
     """
 
     __slots__ = ("enabled", "spans", "instants", "counters",
-                 "_lock", "_epoch")
+                 "_lock", "_epoch", "_request_id")
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
@@ -129,12 +129,31 @@ class Tracer:
         self.counters: dict[str, float] = {}
         self._lock = threading.Lock()
         self._epoch = time.perf_counter()
+        self._request_id: str | None = None
 
     # -- recording -----------------------------------------------------
 
     def now_wall(self) -> float:
         """Seconds since the tracer's epoch (the wall-clock origin)."""
         return time.perf_counter() - self._epoch
+
+    @property
+    def request_id(self) -> str | None:
+        """The serve request currently scoping recorded events."""
+        return self._request_id
+
+    def set_request(self, request_id: str | None) -> None:
+        """Scope subsequent spans/instants to one serving request.
+
+        While set, every recorded span and instant carries a
+        ``request_id`` arg (unless the caller passed its own), so a
+        serve trace with many interleaved requests can be sliced into
+        per-request lanes (``repro trace-summary --request ID``). The
+        server sets this around each job and clears it after; worker-
+        side pool spans are merged back while it is still set, so they
+        land in the owning request's scope.
+        """
+        self._request_id = request_id
 
     def span(
         self,
@@ -148,6 +167,8 @@ class Tracer:
         """Record one complete span (no-op when disabled)."""
         if not self.enabled:
             return
+        if self._request_id is not None and "request_id" not in args:
+            args["request_id"] = self._request_id
         with self._lock:
             self.spans.append(Span(
                 track=track, name=name, start=start,
@@ -165,6 +186,8 @@ class Tracer:
         """Record one instant event (no-op when disabled)."""
         if not self.enabled:
             return
+        if self._request_id is not None and "request_id" not in args:
+            args["request_id"] = self._request_id
         with self._lock:
             self.instants.append(Instant(
                 track=track, name=name, ts=ts, clock=clock,
@@ -418,16 +441,25 @@ def check_trace_invariants(
 
 
 def summarize_trace(
-    payload: Mapping[str, Any], top: int = 10
+    payload: Mapping[str, Any],
+    top: int = 10,
+    request_id: str | None = None,
 ) -> list[list[Any]]:
     """Top-``top`` slowest spans per lane, as table rows.
 
     Rows are ``[clock, track, span name, start_ms, dur_ms]``, lanes in
     sorted order, spans within a lane by descending duration — the
-    quick-triage view ``repro trace-summary`` prints.
+    quick-triage view ``repro trace-summary`` prints. With
+    ``request_id`` only spans carrying that ``request_id`` arg are
+    summarized (the per-request slice of a serve trace).
     """
     rows: list[list[Any]] = []
     for (clock, track), events in sorted(trace_lanes(payload).items()):
+        if request_id is not None:
+            events = [
+                ev for ev in events
+                if (ev.get("args") or {}).get("request_id") == request_id
+            ]
         ranked = sorted(
             events, key=lambda ev: (-ev["dur"], ev["ts"], ev["name"])
         )
@@ -539,138 +571,16 @@ def metrics_to_prometheus(
     ``payload`` is ``RunMetrics.to_payload()``; ``counters`` the
     tracer's counter map (journal appends/replays and friends), which
     may be empty — the exposition works with tracing disabled.
+
+    The families themselves are declared in ``repro.obs.registry``;
+    this is a thin wrapper over :func:`~repro.obs.registry.
+    build_run_registry` kept for its call sites and import stability.
     """
-    w = _PromWriter(prefix)
-    backend = payload.get("backend", "unknown")
-    base = {"backend": backend}
-    stages: Mapping[str, Any] = payload.get("stages", {})
-    totals: Mapping[str, Any] = payload.get("totals", {})
-    health: Mapping[str, Any] = payload.get("health", {})
-    cache: Mapping[str, Any] = payload.get("cache", {})
-    merge = stages.get("merge", {})
-    execute = stages.get("execute", {})
-    schedule = stages.get("schedule", {})
+    # Imported lazily: repro.obs.registry imports this module for the
+    # shared text-grammar helpers.
+    from repro.obs.registry import build_run_registry
 
-    w.family("run_info", "gauge", "One labeled series per run.",
-             [(base, 1.0)])
-    if "pool" in execute:
-        w.family(
-            "executor_info", "gauge",
-            "One labeled series describing execute-stage dispatch: the "
-            "requested and effective worker pool and the CST plane "
-            "(shm, pickle, or local) tasks crossed it on.",
-            [({
-                **base,
-                "pool": str(execute.get("pool", "")),
-                "pool_effective": str(
-                    execute.get("executor_pool_effective",
-                                execute.get("pool", ""))
-                ),
-                "cst_plane": str(execute.get("cst_plane", "local")),
-                "workers": str(execute.get("workers", 1)),
-            }, 1.0)],
-        )
-    if "embeddings" in merge:
-        w.family("embeddings_found", "counter",
-                 "Embeddings found by this run.",
-                 [(base, float(merge["embeddings"]))], suffix="_total")
-    w.family("run_seconds", "gauge",
-             "End-to-end run duration per clock domain.",
-             [({**base, "clock": MODELED},
-               float(totals.get("modeled_seconds", 0.0))),
-              ({**base, "clock": WALL},
-               float(totals.get("wall_seconds", 0.0)))])
-    w.family(
-        "stage_seconds", "gauge",
-        "Per-stage duration per clock domain.",
-        [({**base, "stage": name, "clock": clock}, float(st.get(key, 0.0)))
-         for name, st in stages.items()
-         for clock, key in ((MODELED, "modeled_seconds"),
-                            (WALL, "wall_seconds"))],
-    )
-    w.histogram(
-        "stage_duration_seconds",
-        "Per-stage duration histogram per clock domain.",
-        {
-            tuple(sorted(
-                {**base, "stage": name, "clock": clock}.items()
-            )): float(st.get(key, 0.0))
-            for name, st in stages.items()
-            for clock, key in ((MODELED, "modeled_seconds"),
-                               (WALL, "wall_seconds"))
-        },
-    )
-
-    partition_samples = []
-    for kind, source, key in (
-        ("fpga", schedule, "fpga_csts"),
-        ("cpu", schedule, "cpu_csts"),
-        ("kernel_launches", execute, "num_csts"),
-        ("replayed", execute, "resumed_partitions"),
-    ):
-        if key in source:
-            partition_samples.append(
-                ({**base, "kind": kind}, float(source[key]))
-            )
-    w.family("partitions", "counter",
-             "Partitions by disposition (scheduled, launched, "
-             "replayed from a journal).",
-             partition_samples, suffix="_total")
-
-    if execute.get("pool_warm"):
-        w.family(
-            "pool_events", "counter",
-            "Warm worker-pool supervision actions during execute "
-            "(respawned workers, re-dispatched chunks, hedges, "
-            "quarantined tasks; see docs/robustness.md).",
-            [({**base, "event": event},
-              float(execute.get(f"pool_{event}", 0)))
-             for event in ("spawned", "respawns", "redispatches",
-                           "hedges", "quarantines", "shm_fallbacks",
-                           "stall_kills", "recycled")
-             if f"pool_{event}" in execute],
-            suffix="_total",
-        )
-        w.family(
-            "pool_chunks", "counter",
-            "Task chunks dispatched to the warm worker pool.",
-            [(base, float(execute.get("pool_chunks", 0)))],
-            suffix="_total",
-        )
-    w.family(
-        "recovery_actions", "counter",
-        "Fault-recovery actions taken (see docs/robustness.md).",
-        [({**base, "action": action}, float(health[action]))
-         for action in ("retries", "repartitions", "fallbacks",
-                        "failovers")
-         if action in health],
-        suffix="_total",
-    )
-    if health:
-        w.family("degraded", "gauge",
-                 "1 when the run deviated from its planned placement.",
-                 [(base, 1.0 if health.get("degraded") else 0.0)])
-        w.family("backoff_seconds", "counter",
-                 "Modeled retry backoff charged to the run.",
-                 [(base, float(health.get("backoff_seconds", 0.0)))],
-                 suffix="_total")
-    w.family(
-        "cache_events", "counter",
-        "Stage-cache hits/misses/evictions per namespace.",
-        [({**base, "namespace": ns, "event": ev}, float(stats[ev]))
-         for ns, stats in sorted(cache.items())
-         for ev in ("hits", "misses", "evictions")
-         if ev in stats],
-        suffix="_total",
-    )
-    w.family(
-        "tracer_events", "counter",
-        "Tracer-side counters (journal appends/replays, spans).",
-        [({**base, "name": name}, float(value))
-         for name, value in sorted((counters or {}).items())],
-        suffix="_total",
-    )
-    return w.text()
+    return build_run_registry(payload, counters, prefix=prefix).render()
 
 
 _PROM_METRIC_RE = re.compile(

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import os
 import re
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -63,8 +64,12 @@ from repro.runtime.faults import HostFaultPlan
 from repro.runtime.journal import DeviceHealthLedger
 from repro.runtime.pool import PoolConfig, WorkerPool
 from repro.runtime.registry import REGISTRY
+from repro.obs.httpd import ObservabilityHTTPServer
+from repro.obs.logs import JsonLogger
+from repro.obs.registry import MetricsRegistry, serve_families
+from repro.obs.slo import SloTracker
 from repro.runtime.shm import CstArena
-from repro.runtime.tracing import WALL, Tracer, _PromWriter
+from repro.runtime.tracing import WALL, Tracer
 from repro.serve.admission import AdmissionController, CostEstimator
 from repro.serve.breaker import OPEN, CircuitBreaker
 from repro.serve.protocol import (
@@ -123,6 +128,17 @@ class ServeConfig:
     num_devices: int = 2
     #: Enable request-lifecycle tracing (docs/observability.md).
     trace: bool = False
+    #: Serve ``/metrics`` + ``/healthz`` over loopback HTTP while the
+    #: server runs (0 = ephemeral port, ``None`` = no endpoint).
+    metrics_port: int | None = None
+    #: Structured JSONL event-log path (``None`` disables).
+    log_json: str | None = None
+    #: Per-priority modeled-latency SLO target (seconds).
+    slo_target_s: float = 0.005
+    #: Rolling SLO window, in requests per priority.
+    slo_window: int = 256
+    #: SLO error budget: allowed miss fraction of the window.
+    slo_budget: float = 0.05
     #: Pipeline/device configuration every job runs under. Per-job
     #: fields (journal, resume, deadline) are overlaid on top of it;
     #: everything else — device model, faults, workers, cache bound —
@@ -267,6 +283,32 @@ class MatchServer:
         self._pool: WorkerPool | None = None
         self._manifest_fd: int | None = None
         self._recovered: list[tuple[JobRequest, str | None]] = []
+        # Observability plane: declared-family registry (refreshed
+        # under a lock on every render, so scrape threads and the
+        # serve loop never race), per-priority SLO windows, structured
+        # JSONL event log, and the optional live HTTP endpoint.
+        self.registry = MetricsRegistry(serve_families())
+        self._metrics_lock = threading.Lock()
+        self.slo = SloTracker(
+            target_s=cfg.slo_target_s,
+            window=cfg.slo_window,
+            budget=cfg.slo_budget,
+        )
+        self.log = JsonLogger(cfg.log_json)
+        #: Lifecycle state surfaced by ``/healthz``: ``starting`` →
+        #: ``serving`` (run loop) → ``draining`` (input EOF, queue
+        #: still flushing).
+        self.health_state = "starting"
+        self._http: ObservabilityHTTPServer | None = None
+        if cfg.metrics_port is not None:
+            try:
+                self._http = ObservabilityHTTPServer(
+                    cfg.metrics_port, self.metrics_text, self.health
+                ).start()
+            except OSError as exc:
+                raise ServeError(
+                    f"cannot bind metrics port {cfg.metrics_port}: {exc}"
+                ) from exc
         if cfg.state_dir is not None:
             self._open_state_dir(Path(cfg.state_dir))
 
@@ -352,6 +394,9 @@ class MatchServer:
         return f"job-{job.seq:06d}-{_safe_name(job.id)}.jsonl"
 
     def close(self) -> None:
+        if self._http is not None:
+            self._http.close()
+            self._http = None
         if self._manifest_fd is not None:
             os.close(self._manifest_fd)
             self._manifest_fd = None
@@ -361,6 +406,13 @@ class MatchServer:
         if self._arena is not None:
             self._arena.close()
             self._arena = None
+        self.log.info("server_closed")
+        self.log.close()
+
+    @property
+    def http_port(self) -> int | None:
+        """Bound port of the live metrics endpoint, or ``None``."""
+        return self._http.port if self._http is not None else None
 
     # -- admission / queueing ------------------------------------------
 
@@ -420,6 +472,11 @@ class MatchServer:
                 seq=self._seq,
             )
         except ProtocolError as exc:
+            self.log.warning(
+                "request_rejected",
+                request_id=getattr(exc, "request_id", None),
+                reason=str(exc),
+            )
             self._respond(sink, JobResponse(
                 id=getattr(exc, "request_id", None),
                 status="FATAL",
@@ -428,6 +485,13 @@ class MatchServer:
             return
         decision, estimate = self.admission.decide(job)
         if decision == "shed":
+            # Shed requests never complete, so they burn SLO budget
+            # at their priority like any other miss.
+            self.slo.observe(job.priority, None, "SHED")
+            self.log.warning(
+                "request_shed", request_id=job.id,
+                priority=job.priority, estimate_s=estimate,
+            )
             self._respond(sink, JobResponse(
                 id=job.id,
                 status="SHED",
@@ -438,6 +502,11 @@ class MatchServer:
                 ),
             ))
             return
+        self.log.debug(
+            "request_admitted", request_id=job.id,
+            decision=decision, priority=job.priority,
+            estimate_s=estimate,
+        )
         self._enqueue(job, decision, estimate)
 
     # -- batching ------------------------------------------------------
@@ -457,6 +526,10 @@ class MatchServer:
     def _run_next_batch(self, sink: TextIO) -> None:
         batch = self._take_batch()
         dataset_name, query_name = batch[0][0].batch_key
+        self.log.debug(
+            "batch_start", dataset=dataset_name, query=query_name,
+            jobs=[e[0].id for e in batch],
+        )
         dataset = self._dataset(dataset_name)
         query = get_query(query_name)
         # Pin this batch's CST so LRU pressure from other hot datasets
@@ -593,6 +666,8 @@ class MatchServer:
             ctx.worker_pool = pool
         if self.tracer.enabled:
             ctx.tracer = self.tracer
+        if self.log.enabled:
+            ctx.log = self.log
         return ctx
 
     def _breaker_reroute(self, spec) -> bool:
@@ -624,6 +699,29 @@ class MatchServer:
         query,
     ) -> None:
         t0 = time.perf_counter()
+        # Scope every span/instant emitted while this job runs —
+        # including worker-pool spans merged back by the execute stage
+        # — to this request, so trace-summary --request can slice it.
+        self.tracer.set_request(job.id)
+        try:
+            self._run_job_scoped(
+                sink, job, decision, estimate, resume, dataset, query,
+                t0,
+            )
+        finally:
+            self.tracer.set_request(None)
+
+    def _run_job_scoped(
+        self,
+        sink: TextIO,
+        job: JobRequest,
+        decision: str,
+        estimate: float,
+        resume: str | None,
+        dataset: LdbcDataset,
+        query,
+        t0: float,
+    ) -> None:
         backend = job.backend
         degraded_reason: str | None = None
         if self._breaker_reroute(REGISTRY.get(backend)):
@@ -640,6 +738,10 @@ class MatchServer:
             backend = self.config.fallback_backend
             degraded_reason = "breaker_reroute"
             self.breaker_reroutes += 1
+            self.log.warning(
+                "breaker_reroute", request_id=job.id,
+                planned=job.backend, rerouted=backend,
+            )
         attempts = [(backend, resume)]
         response: JobResponse | None = None
         while attempts:
@@ -652,6 +754,10 @@ class MatchServer:
                 out = spec.run(ctx, query.graph, dataset.graph)
             except DeadlineExceededError as exc:
                 self.deadline_cancellations += 1
+                self.log.warning(
+                    "deadline_cancelled", request_id=job.id,
+                    backend=attempt_backend, detail=str(exc),
+                )
                 response = JobResponse(
                     id=job.id,
                     status="DEADLINE",
@@ -668,6 +774,11 @@ class MatchServer:
                 ):
                     degraded_reason = "fatal_device_fallback"
                     self.breaker_reroutes += 1
+                    self.log.warning(
+                        "fatal_device_fallback", request_id=job.id,
+                        failed=attempt_backend,
+                        rerouted=self.config.fallback_backend,
+                    )
                     attempts.append((self.config.fallback_backend, None))
                 else:
                     response = JobResponse(
@@ -739,6 +850,16 @@ class MatchServer:
         response: JobResponse,
     ) -> None:
         self.admission.release(estimate)
+        self.slo.observe(
+            job.priority, response.modeled_seconds, response.status
+        )
+        self.log.info(
+            "job_finished", request_id=job.id,
+            status=response.status, backend=response.backend,
+            priority=job.priority,
+            modeled_seconds=response.modeled_seconds,
+            embeddings=response.embeddings,
+        )
         self._manifest_append({
             "type": "done",
             "id": job.id,
@@ -778,6 +899,12 @@ class MatchServer:
     ) -> ServeReport:
         """Serve one input stream to completion and drain the queue."""
         recovered = self.recover_pending()
+        self.health_state = "serving"
+        self.log.info(
+            "server_start", backend=self.config.backend,
+            recovered=recovered,
+            metrics_port=self.http_port,
+        )
         lines = _LineSource(source)
         while True:
             while lines.ready():
@@ -786,6 +913,13 @@ class MatchServer:
                     break
                 if line.strip():
                     self._handle_line(line, sink)
+            if lines.eof and self.health_state == "serving":
+                # Input is closed; only queued work remains. /healthz
+                # flips to 503 so a balancer stops routing here.
+                self.health_state = "draining"
+                self.log.info(
+                    "server_draining", queued=len(self._queue)
+                )
             if self._queue:
                 self._run_next_batch(sink)
                 continue
@@ -796,6 +930,8 @@ class MatchServer:
                 break
             if line.strip():
                 self._handle_line(line, sink)
+        if self.health_state == "serving":
+            self.health_state = "draining"
         return ServeReport(
             statuses=dict(self.statuses),
             responses=list(self.responses),
@@ -810,75 +946,75 @@ class MatchServer:
     def metrics_text(self) -> str:
         """Service-level Prometheus exposition (docs/observability.md).
 
-        Validated by
+        Rendered from the declared-family registry
+        (:mod:`repro.obs.registry`), refreshed under a lock on every
+        call — the ``--metrics-out`` snapshot and a live ``/metrics``
+        scrape are the same render and cannot drift. Validated by
         :func:`repro.runtime.tracing.validate_prometheus_text`; the
         families complement the per-run ones of
         :func:`~repro.runtime.tracing.metrics_to_prometheus`.
         """
-        w = _PromWriter("fast_serve")
-        w.family(
-            "jobs", "counter",
-            "Jobs finished, by terminal status.",
-            [({"status": s}, float(n)) for s, n in
-             sorted(self.statuses.items())],
-            suffix="_total",
-        )
-        w.family(
-            "admission_decisions", "counter",
-            "Admission-controller outcomes.",
-            [({"decision": d}, float(n)) for d, n in
-             sorted(self.admission.decisions.items())],
-            suffix="_total",
-        )
-        w.family(
-            "queue_depth_peak", "gauge",
-            "Peak queued jobs over the server lifetime.",
-            [({}, float(self.queue_peak))],
-        )
-        w.family(
-            "backlog_seconds", "gauge",
-            "Current admission backlog (estimated modeled seconds).",
-            [({}, self.admission.backlog_s)],
-        )
-        w.family(
-            "deadline_cancellations", "counter",
-            "Jobs cancelled by their modeled-time deadline.",
-            [({}, float(self.deadline_cancellations))],
-            suffix="_total",
-        )
-        w.family(
-            "breaker_reroutes", "counter",
-            "Jobs rerouted to the exact-CPU fallback by the breaker.",
-            [({}, float(self.breaker_reroutes))],
-            suffix="_total",
-        )
-        w.family(
-            "breaker_transitions", "counter",
-            "Breaker open/close/probe transitions per device.",
-            [({"device": d, "transition": t}, float(b[t]))
-             for d, b in sorted(self.breaker.to_dict().items())
-             for t in ("opened", "closed", "probes")],
-            suffix="_total",
-        )
-        w.family(
-            "cache_events", "counter",
-            "Resident stage-cache hits/misses/evictions by namespace.",
-            [({"namespace": ns, "event": ev}, float(stats[ev]))
-             for ns, stats in sorted(self.cache.stats().items())
-             for ev in ("hits", "misses", "evictions")],
-            suffix="_total",
-        )
+        with self._metrics_lock:
+            self._refresh_registry()
+            return self.registry.render()
+
+    def _refresh_registry(self) -> None:
+        """Rebuild every ``fast_serve_*`` sample from current state.
+
+        Refresh-style (reset + absolute ``set``) rather than
+        increments: server counters are already cumulative, and one
+        writer under :attr:`_metrics_lock` keeps scrapes consistent.
+        """
+        reg = self.registry
+        reg.reset()
+        for s, n in sorted(self.statuses.items()):
+            reg.set("fast_serve_jobs", {"status": s}, float(n))
+        for d, n in sorted(self.admission.decisions.items()):
+            reg.set("fast_serve_admission_decisions",
+                    {"decision": d}, float(n))
+        reg.set("fast_serve_queue_depth_peak", None,
+                float(self.queue_peak))
+        reg.set("fast_serve_backlog_seconds", None,
+                self.admission.backlog_s)
+        reg.set("fast_serve_deadline_cancellations", None,
+                float(self.deadline_cancellations))
+        reg.set("fast_serve_breaker_reroutes", None,
+                float(self.breaker_reroutes))
+        for d, b in sorted(self.breaker.to_dict().items()):
+            for t in ("opened", "closed", "probes"):
+                reg.set("fast_serve_breaker_transitions",
+                        {"device": d, "transition": t}, float(b[t]))
+        for ns, stats in sorted(self.cache.stats().items()):
+            for ev in ("hits", "misses", "evictions"):
+                reg.set("fast_serve_cache_events",
+                        {"namespace": ns, "event": ev},
+                        float(stats[ev]))
         report = ServeReport(
             statuses=self.statuses,
             responses=self.responses,
             admission=self.admission.decisions,
         )
-        w.family(
-            "modeled_latency_p99_seconds", "gauge",
-            "99th-percentile modeled latency of OK/DEGRADED jobs.",
-            [({}, report.p99_modeled_latency())],
-        )
-        return "\n".join(w.lines) + "\n"
+        reg.set("fast_serve_modeled_latency_p99_seconds", None,
+                report.p99_modeled_latency())
+        for priority, row in self.slo.snapshot().items():
+            for quantile in ("p50", "p99"):
+                reg.set(
+                    "fast_serve_slo_latency_seconds",
+                    {"priority": priority, "quantile": quantile},
+                    row[f"{quantile}_modeled_latency_s"],
+                )
+            reg.set("fast_serve_slo_burn_rate",
+                    {"priority": priority}, row["burn_rate"])
+            reg.set("fast_serve_slo_window_jobs",
+                    {"priority": priority}, float(row["window_jobs"]))
+
+    def health(self) -> dict[str, Any]:
+        """The ``/healthz`` report (state + a few load indicators)."""
+        return {
+            "state": self.health_state,
+            "jobs_done": sum(self.statuses.values()),
+            "queued": len(self._queue),
+        }
 
     def write_metrics(self, path: str | Path) -> None:
         atomic_write_text(path, self.metrics_text())

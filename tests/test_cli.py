@@ -95,6 +95,13 @@ class TestParser:
         )
         assert args.trace_file == "out.json"
         assert args.top == 9
+        assert args.request is None
+
+    def test_trace_summary_request_parsed(self):
+        args = build_parser().parse_args(
+            ["trace-summary", "out.json", "--request", "r42"]
+        )
+        assert args.request == "r42"
 
     def test_device_flags_parsed(self):
         args = build_parser().parse_args(
@@ -282,6 +289,48 @@ class TestTraceArtifacts:
         bad = tmp_path / "bad.trace.json"
         bad.write_text('{"traceEvents": [{"ph": "Z"}]}')
         rc = main(["trace-summary", str(bad)])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    @staticmethod
+    def _request_trace(tmp_path):
+        """A serve-style trace with two request-scoped spans."""
+        import json as _json
+
+        from repro.runtime.tracing import MODELED, Tracer
+
+        tracer = Tracer(enabled=True)
+        tracer.set_request("r1")
+        tracer.span("execute", "run", 0.0, 1.0, clock=MODELED)
+        tracer.set_request("r2")
+        tracer.span("execute", "run", 1.0, 2.0, clock=MODELED)
+        tracer.set_request(None)
+        path = tmp_path / "serve.trace.json"
+        path.write_text(_json.dumps(tracer.to_chrome_trace()))
+        return path
+
+    def test_trace_summary_request_filter(self, capsys, tmp_path):
+        trace = self._request_trace(tmp_path)
+        rc = main(["trace-summary", str(trace), "--request", "r1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "(request r1)" in out
+        # Only r1's 1000 ms span survives; r2's 2000 ms one is gone.
+        assert "1000.000000" in out
+        assert "2000.000000" not in out
+
+    def test_trace_summary_request_not_found(self, capsys, tmp_path):
+        trace = self._request_trace(tmp_path)
+        rc = main(["trace-summary", str(trace), "--request", "zzz"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "no spans for request 'zzz'" in captured.err
+
+    def test_trace_summary_request_keeps_exit_codes(
+        self, capsys, tmp_path
+    ):
+        rc = main(["trace-summary", str(tmp_path / "absent.json"),
+                   "--request", "r1"])
         assert rc == 2
         assert "error" in capsys.readouterr().err
 
